@@ -1,0 +1,246 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Each bench reports ev/s (topology events ingested per second — the
+// paper's headline metric) alongside ns/op. cmd/paperbench prints the
+// same experiments as human-readable tables at larger scales.
+package incregraph_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"incregraph"
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/csr"
+	"incregraph/internal/graph"
+	"incregraph/internal/harness"
+	"incregraph/internal/rmat"
+	"incregraph/internal/static"
+	"incregraph/internal/stream"
+)
+
+// benchCfg keeps bench runs laptop-sized; paperbench uses scale 16+.
+var benchCfg = harness.Config{Scale: 13, EdgeFactor: 16, Ranks: []int{runtime.GOMAXPROCS(0)}}
+
+func benchRanks() int { return runtime.GOMAXPROCS(0) }
+
+// runSaturated ingests edges with the given program at full speed and
+// reports the event rate to b.
+func runSaturated(b *testing.B, edges []graph.Edge, ranks int, prog core.Program, inits []graph.VertexID) {
+	b.Helper()
+	var lastRate float64
+	for i := 0; i < b.N; i++ {
+		var programs []core.Program
+		if prog != nil {
+			programs = append(programs, prog)
+		}
+		e := core.New(core.Options{Ranks: ranks, Undirected: true}, programs...)
+		for _, v := range inits {
+			e.InitVertex(0, v)
+		}
+		stats, err := e.Run(stream.Split(edges, ranks))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastRate = stats.EventsPerSec
+	}
+	b.ReportMetric(lastRate, "ev/s")
+}
+
+// BenchmarkTable1Datasets measures generation of each Table I stand-in
+// (the paper feeds these as saturated streams; generation must outpace
+// ingestion).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for _, d := range harness.Datasets(benchCfg) {
+		b.Run(d.Name, func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = len(d.Edges())
+			}
+			b.ReportMetric(float64(n), "edges")
+		})
+	}
+}
+
+// BenchmarkFig3 measures the three Figure 3 strategies.
+func BenchmarkFig3(b *testing.B) {
+	edges := harness.TwitterSim(benchCfg).Edges()
+	src := harness.LargestComponentVertex(edges)
+	ranks := benchRanks()
+
+	b.Run("static-build+static-bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := csr.Build(edges, true)
+			static.BFS(g, src)
+		}
+	})
+	b.Run("dynamic-build+static-bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.New(core.Options{Ranks: ranks, Undirected: true})
+			if _, err := e.Run(stream.Split(edges, ranks)); err != nil {
+				b.Fatal(err)
+			}
+			static.BFS(e.Topology(), src)
+		}
+	})
+	b.Run("dynamic-build+live-bfs", func(b *testing.B) {
+		runSaturated(b, edges, ranks, algo.BFS{}, []graph.VertexID{src})
+	})
+}
+
+// BenchmarkFig4 measures on-the-fly global state collection against a
+// static recompute on the same topology.
+func BenchmarkFig4(b *testing.B) {
+	rc := rmat.Config{Scale: benchCfg.Scale, EdgeFactor: benchCfg.EdgeFactor, Seed: 7}
+	edges := rmat.GenerateParallel(rc, 0)
+	ranks := benchRanks()
+
+	b.Run("snapshot-collection", func(b *testing.B) {
+		e := core.New(core.Options{Ranks: ranks, Undirected: true}, algo.BFS{})
+		e.InitVertex(0, 0)
+		live := stream.NewChan()
+		if err := e.Start([]stream.Stream{live}); err != nil {
+			b.Fatal(err)
+		}
+		for _, ed := range edges {
+			live.Push(graph.EdgeEvent{Edge: ed})
+		}
+		for e.Ingested() != uint64(len(edges)) || !e.Quiescent() {
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.SnapshotAsync(0).Wait()
+		}
+		b.StopTimer()
+		live.Close()
+		e.Wait()
+	})
+	b.Run("static-recompute", func(b *testing.B) {
+		g := csr.Build(edges, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			static.BFS(g, 0)
+		}
+	})
+}
+
+// BenchmarkFig5 measures each algorithm's saturated event rate on each
+// real-graph stand-in.
+func BenchmarkFig5(b *testing.B) {
+	for _, d := range harness.Datasets(benchCfg) {
+		edges := d.Edges()
+		for _, spec := range harness.Algorithms() {
+			b.Run(fmt.Sprintf("%s/%s", d.Name, spec.Name), func(b *testing.B) {
+				prog, inits := spec.Build(edges)
+				runSaturated(b, edges, benchRanks(), prog, inits)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 measures strong scaling (rank sweep at one scale) and weak
+// scaling (scale sweep at full ranks) for live-BFS ingestion.
+func BenchmarkFig6(b *testing.B) {
+	for _, ranks := range []int{1, 2, 4, benchRanks()} {
+		sc := benchCfg.Scale
+		rc := rmat.Config{Scale: sc, EdgeFactor: benchCfg.EdgeFactor, Seed: 7}
+		edges := rmat.GenerateParallel(rc, 0)
+		b.Run(fmt.Sprintf("strong/scale%d/ranks%d", sc, ranks), func(b *testing.B) {
+			runSaturated(b, edges, ranks, algo.BFS{}, []graph.VertexID{0})
+		})
+	}
+	for _, sc := range []int{benchCfg.Scale - 2, benchCfg.Scale - 1, benchCfg.Scale} {
+		rc := rmat.Config{Scale: sc, EdgeFactor: benchCfg.EdgeFactor, Seed: 7}
+		edges := rmat.GenerateParallel(rc, 0)
+		b.Run(fmt.Sprintf("weak/scale%d", sc), func(b *testing.B) {
+			runSaturated(b, edges, benchRanks(), algo.BFS{}, []graph.VertexID{0})
+		})
+	}
+}
+
+// BenchmarkFig7 measures multi-source S-T connectivity as the source set
+// doubles (0 = construction only).
+func BenchmarkFig7(b *testing.B) {
+	edges := harness.TwitterSim(benchCfg).Edges()
+	n := uint64(1) << uint(benchCfg.Scale)
+	for _, k := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("sources%d", k), func(b *testing.B) {
+			var prog core.Program
+			var srcs []graph.VertexID
+			if k > 0 {
+				srcs = make([]graph.VertexID, k)
+				for i := range srcs {
+					srcs[i] = graph.VertexID((uint64(i)*2654435761 + 12345) % n)
+				}
+				prog = algo.NewMultiST(srcs)
+			}
+			runSaturated(b, edges, benchRanks(), prog, srcs)
+		})
+	}
+}
+
+// BenchmarkAblationSmallCap sweeps the degree-aware promotion threshold
+// (DESIGN.md ablation: DegAwareRHH's compact-vs-hash split).
+func BenchmarkAblationSmallCap(b *testing.B) {
+	edges := harness.TwitterSim(benchCfg).Edges()
+	for _, sc := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("smallCap%d", sc), func(b *testing.B) {
+			var lastRate float64
+			for i := 0; i < b.N; i++ {
+				e := core.New(core.Options{Ranks: benchRanks(), Undirected: true, SmallCap: sc})
+				stats, err := e.Run(stream.Split(edges, benchRanks()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRate = stats.EventsPerSec
+			}
+			b.ReportMetric(lastRate, "ev/s")
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize sweeps inter-rank message batching.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	edges := harness.TwitterSim(benchCfg).Edges()
+	src := harness.LargestComponentVertex(edges)
+	for _, bs := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("batch%d", bs), func(b *testing.B) {
+			var lastRate float64
+			for i := 0; i < b.N; i++ {
+				e := core.New(core.Options{Ranks: benchRanks(), Undirected: true, BatchSize: bs}, algo.BFS{})
+				e.InitVertex(0, src)
+				stats, err := e.Run(stream.Split(edges, benchRanks()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRate = stats.EventsPerSec
+			}
+			b.ReportMetric(lastRate, "ev/s")
+		})
+	}
+}
+
+// BenchmarkQueryLocal measures the constant-time local-state observation
+// the paper guarantees during runs (§VI-A).
+func BenchmarkQueryLocal(b *testing.B) {
+	g := incregraph.New(incregraph.Config{Ranks: benchRanks()}, incregraph.BFS())
+	g.InitVertex(0, 0)
+	live := incregraph.NewLiveStream()
+	if err := g.Start(live); err != nil {
+		b.Fatal(err)
+	}
+	edges := rmat.Generate(rmat.Config{Scale: 12, EdgeFactor: 8, Seed: 3})
+	for _, e := range edges {
+		live.PushEdge(e)
+	}
+	for g.Ingested() != uint64(len(edges)) || !g.Quiescent() {
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Query(0, graph.VertexID(i)%4096)
+	}
+	b.StopTimer()
+	live.Close()
+	g.Wait()
+}

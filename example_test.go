@@ -1,0 +1,127 @@
+package incregraph_test
+
+import (
+	"fmt"
+
+	"incregraph"
+)
+
+// Example demonstrates the core loop: stream edges into a live BFS and
+// query levels without stopping ingestion.
+func Example() {
+	g := incregraph.New(incregraph.Config{Ranks: 2}, incregraph.BFS())
+	g.InitVertex(0, 0)
+	// A triangle plus a tail: 0-1, 1-2, 2-0, 2-3.
+	edges := []incregraph.Edge{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 1, Dst: 2, W: 1},
+		{Src: 2, Dst: 0, W: 1},
+		{Src: 2, Dst: 3, W: 1},
+	}
+	if _, err := g.Run(incregraph.StreamEdges(edges)); err != nil {
+		panic(err)
+	}
+	for v := incregraph.VertexID(0); v <= 3; v++ {
+		fmt.Printf("vertex %d: %d hops\n", v, g.Query(0, v).Value-1)
+	}
+	// Output:
+	// vertex 0: 0 hops
+	// vertex 1: 1 hops
+	// vertex 2: 1 hops
+	// vertex 3: 2 hops
+}
+
+// infection is a user-defined REMO program written entirely against the
+// public API: vertex state is the earliest "infection round" that can
+// reach the vertex (lower = earlier, Unset = never exposed). Signals
+// inject patient-zero infections at runtime; topology propagation adds one
+// round per hop. State decreases monotonically toward a bound, so the
+// engine's convergence and trigger guarantees apply unchanged.
+type infection struct{}
+
+func (infection) Init(ctx *incregraph.Ctx) {}
+
+func (infection) OnAdd(ctx *incregraph.Ctx, nbr incregraph.VertexID, w incregraph.Weight) {}
+
+func (i infection) OnReverseAdd(ctx *incregraph.Ctx, nbr incregraph.VertexID, nbrVal uint64, w incregraph.Weight) {
+	i.OnUpdate(ctx, nbr, nbrVal, w)
+}
+
+func (infection) OnUpdate(ctx *incregraph.Ctx, from incregraph.VertexID, fromVal uint64, w incregraph.Weight) {
+	cur := ctx.Value()
+	if cur == incregraph.Unset {
+		cur = incregraph.Infinity
+	}
+	fv := fromVal
+	if fv == incregraph.Unset {
+		fv = incregraph.Infinity
+	}
+	switch {
+	case fv != incregraph.Infinity && fv+1 < cur:
+		ctx.SetValue(fv + 1)
+		ctx.UpdateNbrs(fv + 1)
+	case cur != incregraph.Infinity && cur+1 < fv:
+		ctx.UpdateNbr(from, cur)
+	}
+}
+
+// OnSignal marks the vertex as a patient zero at the given round.
+func (infection) OnSignal(ctx *incregraph.Ctx, round uint64) {
+	cur := ctx.Value()
+	if cur == incregraph.Unset || round < cur {
+		ctx.SetValue(round)
+		ctx.UpdateNbrs(round)
+	}
+}
+
+// Example_customProgram shows how applications implement their own REMO
+// algorithm and drive it with runtime signals.
+func Example_customProgram() {
+	g := incregraph.New(incregraph.Config{Ranks: 2}, infection{})
+	live := incregraph.NewLiveStream()
+	if err := g.Start(live); err != nil {
+		panic(err)
+	}
+	// Contact network: 0-1-2-3-4.
+	for i := 0; i < 4; i++ {
+		live.PushEdge(incregraph.Edge{
+			Src: incregraph.VertexID(i), Dst: incregraph.VertexID(i + 1), W: 1})
+	}
+	g.Signal(0, 0, 1) // patient zero at round 1
+	live.Close()
+	g.Wait()
+	for v := incregraph.VertexID(0); v <= 4; v++ {
+		fmt.Printf("vertex %d exposed at round %d\n", v, g.Query(0, v).Value)
+	}
+	// Output:
+	// vertex 0 exposed at round 1
+	// vertex 1 exposed at round 2
+	// vertex 2 exposed at round 3
+	// vertex 3 exposed at round 4
+	// vertex 4 exposed at round 5
+}
+
+// Example_trigger shows a "When" query: react the moment a condition first
+// holds, exactly once.
+func Example_trigger() {
+	st := incregraph.MultiST([]incregraph.VertexID{0})
+	g := incregraph.New(incregraph.Config{Ranks: 1}, st)
+	done := make(chan uint64, 1)
+	g.WhenVertex(0, 4,
+		func(mask uint64) bool { return mask&1 != 0 },
+		func(mask uint64) { done <- mask })
+	g.InitVertex(0, 0)
+	live := incregraph.NewLiveStream()
+	if err := g.Start(live); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 4; i++ {
+		live.PushEdge(incregraph.Edge{
+			Src: incregraph.VertexID(i), Dst: incregraph.VertexID(i + 1), W: 1})
+	}
+	fmt.Printf("vertex 4 connected to source (mask %b)\n", <-done)
+	live.Close()
+	g.Wait()
+	// Output:
+	// vertex 4 connected to source (mask 1)
+}

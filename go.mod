@@ -1,0 +1,3 @@
+module incregraph
+
+go 1.23

@@ -1,0 +1,211 @@
+package incregraph
+
+import (
+	"io"
+	"runtime"
+
+	"incregraph/internal/core"
+	"incregraph/internal/graph"
+	"incregraph/internal/static"
+	"incregraph/internal/stream"
+)
+
+// Core types, re-exported so applications only import this package.
+type (
+	// VertexID identifies a vertex globally.
+	VertexID = graph.VertexID
+	// Weight is an edge weight.
+	Weight = graph.Weight
+	// Edge is a weighted directed edge, the unit of topology evolution.
+	Edge = graph.Edge
+	// EdgeEvent is an edge add (or, with Delete set, removal) on a stream.
+	EdgeEvent = graph.EdgeEvent
+	// Program is a REMO vertex program (user-defined event callbacks).
+	Program = core.Program
+	// Ctx is a callback's window onto the visited vertex.
+	Ctx = core.Ctx
+	// Stats summarizes a run.
+	Stats = core.Stats
+	// VertexValue pairs a vertex with its algorithm state.
+	VertexValue = core.VertexValue
+	// QueryResult is the answer to a local-state observation.
+	QueryResult = core.QueryResult
+	// Snapshot is an asynchronous global-state collection.
+	Snapshot = core.Snapshot
+	// Stream is an ordered source of edge events.
+	Stream = stream.Stream
+	// LiveStream is an unbounded stream fed by Push from other goroutines.
+	LiveStream = stream.Chan
+	// Topology is a read-only whole-graph adjacency view.
+	Topology = static.Topology
+)
+
+// Unset is the state of a vertex no event has touched; Infinity is the
+// "no path yet" distance value.
+const (
+	Unset    = core.Unset
+	Infinity = core.Infinity
+)
+
+// Config configures a Graph.
+type Config struct {
+	// Ranks is the number of shared-nothing event-loop goroutines
+	// (default 1). Scaling figures in the paper scale this.
+	Ranks int
+	// Directed disables the undirected-edge protocol. The default
+	// (false) matches the paper: every edge insertion also creates the
+	// reverse edge via a serialized REVERSE_ADD notification.
+	Directed bool
+	// BatchSize is the inter-rank message batching granularity
+	// (default 256).
+	BatchSize int
+	// SmallCap is the degree threshold at which a vertex's adjacency is
+	// promoted from the compact inline form to a Robin Hood hash table
+	// (default 16).
+	SmallCap int
+	// WeightPolicy selects how a re-inserted edge's weight merges with
+	// the stored one (default KeepMinWeight). Choose the policy that is
+	// monotone-compatible with the hooked algorithms: KeepMinWeight for
+	// SSSP, KeepMaxWeight for WidestPath.
+	WeightPolicy WeightPolicy
+}
+
+// WeightPolicy re-exports the duplicate-weight merge rules.
+type WeightPolicy = graph.WeightPolicy
+
+// Duplicate-weight merge rules (see Config.WeightPolicy).
+const (
+	KeepMinWeight   = graph.WeightMin
+	KeepMaxWeight   = graph.WeightMax
+	KeepFirstWeight = graph.WeightFirst
+)
+
+// Graph is a dynamic graph with live algorithm state: the user-facing
+// handle over the event-centric engine. Construct with New, register
+// triggers, Start ingestion, interact (Query / Snapshot / InitVertex),
+// then Wait.
+type Graph struct {
+	eng *core.Engine
+}
+
+// New builds a dynamic graph hosting the given programs. All programs
+// maintain their state concurrently over the same topology.
+func New(cfg Config, programs ...Program) *Graph {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	return &Graph{eng: core.New(core.Options{
+		Ranks:        cfg.Ranks,
+		Undirected:   !cfg.Directed,
+		BatchSize:    cfg.BatchSize,
+		SmallCap:     cfg.SmallCap,
+		WeightPolicy: cfg.WeightPolicy,
+	}, programs...)}
+}
+
+// Start launches ingestion over the given streams, at most one per rank.
+// It returns immediately.
+func (g *Graph) Start(streams ...Stream) error { return g.eng.Start(streams) }
+
+// Wait blocks until every stream is exhausted and all cascades have
+// converged, then returns run statistics.
+func (g *Graph) Wait() Stats { return g.eng.Wait() }
+
+// Run is Start followed by Wait.
+func (g *Graph) Run(streams ...Stream) (Stats, error) { return g.eng.Run(streams) }
+
+// InitVertex instantiates program algo at vertex v (e.g. chooses a BFS or
+// S-T source). It may be called before Start or at any time during a run.
+func (g *Graph) InitVertex(algo int, v VertexID) { g.eng.InitVertex(algo, v) }
+
+// Signal delivers a user-generated value to program algo at vertex v (the
+// paper's attribute-update events). The program must implement
+// core.SignalAware; others ignore signals.
+func (g *Graph) Signal(algo int, v VertexID, val uint64) { g.eng.Signal(algo, v, val) }
+
+// Query observes vertex v's local state for program algo in constant time,
+// causally consistent with the vertex's event history (§III-E of the
+// paper). Valid before, during, and after a run.
+func (g *Graph) Query(algo int, v VertexID) QueryResult { return g.eng.QueryLocal(algo, v) }
+
+// When registers a dynamic trigger: action fires the first time any
+// vertex's state for program algo satisfies pred. For monotone REMO state
+// there are no false positives and the action fires at most once per
+// vertex. Must be called before Start; action runs on an engine goroutine
+// and must be fast.
+func (g *Graph) When(algo int, pred func(v VertexID, val uint64) bool, action func(v VertexID, val uint64)) {
+	g.eng.When(algo, pred, action)
+}
+
+// WhenVertex is When scoped to a single vertex — the paper's "When is
+// vertex A connected to vertex B?" query shape.
+func (g *Graph) WhenVertex(algo int, v VertexID, pred func(val uint64) bool, action func(val uint64)) {
+	g.eng.WhenVertex(algo, v, pred, action)
+}
+
+// Snapshot requests an asynchronous, globally consistent collection of
+// program algo's state at the current discrete time point, without pausing
+// ingestion. Call Wait (or AsMap) on the result.
+func (g *Graph) Snapshot(algo int) *Snapshot { return g.eng.SnapshotAsync(algo) }
+
+// Collect gathers program algo's complete state once the graph is paused
+// or finished, sorted by vertex ID.
+func (g *Graph) Collect(algo int) []VertexValue { return g.eng.Collect(algo) }
+
+// CollectMap is Collect keyed by vertex.
+func (g *Graph) CollectMap(algo int) map[VertexID]uint64 { return g.eng.CollectMap(algo) }
+
+// Topology returns a read-only whole-graph view usable with any static
+// algorithm. Only valid before Start or after Wait ("any known static
+// algorithm can be applied on the dynamic graph whose evolution is paused
+// or concluded").
+func (g *Graph) Topology() Topology { return g.eng.Topology() }
+
+// Quiescent reports whether no event is buffered, queued, or being
+// processed anywhere in the engine. Events still sitting inside a live
+// stream are not covered — pair with Ingested to know a pushed workload
+// has fully drained.
+func (g *Graph) Quiescent() bool { return g.eng.Quiescent() }
+
+// Ingested returns the number of topology events pulled from streams so
+// far. Ingested()==pushed && Quiescent() means every pushed event has been
+// fully processed.
+func (g *Graph) Ingested() uint64 { return g.eng.Ingested() }
+
+// Drain blocks until every event pushed so far to the given live streams
+// has been ingested and fully processed (including all recursive update
+// cascades). It is the synchronization point between "I pushed these
+// events" and "queries now reflect them"; pushes that happen concurrently
+// with Drain may or may not be covered.
+func (g *Graph) Drain(streams ...*LiveStream) {
+	var pushed uint64
+	for _, s := range streams {
+		pushed += s.Pushed()
+	}
+	for g.eng.Ingested() < pushed || !g.eng.Quiescent() {
+		runtime.Gosched()
+	}
+}
+
+// Ranks returns the configured rank count.
+func (g *Graph) Ranks() int { return g.eng.Ranks() }
+
+// WriteCheckpoint serializes the graph's full state — topology plus every
+// program's per-vertex values — so analysis can resume in a later process.
+// Valid before Start or after Wait.
+func (g *Graph) WriteCheckpoint(w io.Writer) error { return g.eng.WriteCheckpoint(w) }
+
+// LoadCheckpoint builds a fresh, not-yet-started Graph from a checkpoint
+// written by WriteCheckpoint. programs must match the writer's program set
+// in count and order; cfg's rank-affecting options are overridden by the
+// checkpoint's.
+func LoadCheckpoint(r io.Reader, cfg Config, programs ...Program) (*Graph, error) {
+	eng, err := core.ReadCheckpoint(r, core.Options{
+		BatchSize: cfg.BatchSize,
+		SmallCap:  cfg.SmallCap,
+	}, programs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{eng: eng}, nil
+}

@@ -1,0 +1,238 @@
+package incregraph_test
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"incregraph"
+	"incregraph/internal/gen"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := incregraph.New(incregraph.Config{Ranks: 4}, incregraph.BFS())
+	g.InitVertex(0, 0)
+	live := incregraph.NewLiveStream()
+	if err := g.Start(live); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gen.Path(100) {
+		live.PushEdge(e)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Ingested() != 99 || !g.Quiescent() {
+		if time.Now().After(deadline) {
+			t.Fatal("no quiescence")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if res := g.Query(0, 99); !res.Exists || res.Value != 100 {
+		t.Fatalf("Query(99) = %+v", res)
+	}
+	snap := g.Snapshot(0)
+	m := snap.AsMap()
+	if m[50] != 51 {
+		t.Fatalf("snapshot[50] = %d", m[50])
+	}
+	live.Close()
+	stats := g.Wait()
+	if stats.TopoEvents != 99 || stats.Vertices != 100 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Static algorithm over the finished dynamic topology.
+	levels := incregraph.StaticBFS(g.Topology(), 0)
+	if levels[99] != 100 {
+		t.Fatalf("static BFS on dynamic topology: %d", levels[99])
+	}
+}
+
+func TestFacadeMultipleAlgorithms(t *testing.T) {
+	edges := gen.ErdosRenyi(100, 600, 10, 1)
+	g := incregraph.New(incregraph.Config{Ranks: 3},
+		incregraph.BFS(), incregraph.CC(), incregraph.SSSP(), incregraph.DegreeTracker())
+	g.InitVertex(0, 0)
+	g.InitVertex(2, 0)
+	if _, err := g.Run(incregraph.SplitEdges(edges, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	topo := g.Topology()
+	bfs := incregraph.StaticBFS(topo, 0)
+	for _, p := range g.Collect(0) {
+		if p.Val != bfs[p.ID] {
+			t.Fatalf("bfs vertex %d: %d vs %d", p.ID, p.Val, bfs[p.ID])
+		}
+	}
+	cc := incregraph.StaticCC(topo)
+	for _, p := range g.Collect(1) {
+		if p.Val != cc[p.ID] {
+			t.Fatalf("cc vertex %d: %d vs %d", p.ID, p.Val, cc[p.ID])
+		}
+	}
+	sssp := incregraph.StaticSSSP(topo, 0)
+	for _, p := range g.Collect(2) {
+		if p.Val != sssp[p.ID] {
+			t.Fatalf("sssp vertex %d: %d vs %d", p.ID, p.Val, sssp[p.ID])
+		}
+	}
+}
+
+func TestFacadeTriggers(t *testing.T) {
+	g := incregraph.New(incregraph.Config{Ranks: 2}, incregraph.MultiST([]incregraph.VertexID{0}))
+	var hit atomic.Bool
+	g.WhenVertex(0, 30, func(val uint64) bool { return val&1 != 0 }, func(uint64) { hit.Store(true) })
+	g.InitVertex(0, 0)
+	if _, err := g.Run(incregraph.StreamEdges(gen.Path(31))); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Load() {
+		t.Fatal("connectivity trigger never fired")
+	}
+}
+
+func TestFacadeGenBFSDeletes(t *testing.T) {
+	events := []incregraph.EdgeEvent{
+		{Edge: incregraph.Edge{Src: 0, Dst: 1, W: 1}},
+		{Edge: incregraph.Edge{Src: 1, Dst: 2, W: 1}},
+		{Edge: incregraph.Edge{Src: 0, Dst: 2, W: 1}},
+		{Edge: incregraph.Edge{Src: 0, Dst: 2, W: 1}, Delete: true},
+	}
+	p := incregraph.GenBFS()
+	if !incregraph.DeleteAware(p) {
+		t.Fatal("GenBFS should be delete-aware")
+	}
+	if incregraph.DeleteAware(incregraph.BFS()) {
+		t.Fatal("plain BFS should not be delete-aware")
+	}
+	g := incregraph.New(incregraph.Config{Ranks: 2}, p)
+	g.InitVertex(0, 0)
+	if _, err := g.Run(incregraph.StreamEvents(events)); err != nil {
+		t.Fatal(err)
+	}
+	m := g.CollectMap(0)
+	if lvl := incregraph.GenBFSLevel(m[2]); lvl != 3 {
+		t.Fatalf("vertex 2 level = %d after delete, want 3", lvl)
+	}
+}
+
+func TestFacadeStreamFuncAndRateLimit(t *testing.T) {
+	s := incregraph.StreamFunc(10, func(i uint64) incregraph.Edge {
+		return incregraph.Edge{Src: incregraph.VertexID(i), Dst: incregraph.VertexID(i + 1), W: 1}
+	})
+	s = incregraph.RateLimit(s, 1e9)
+	g := incregraph.New(incregraph.Config{Ranks: 1}, incregraph.CC())
+	stats, err := g.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TopoEvents != 10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// One path: every vertex shares a label, the minimum CCLabelOf.
+	want := incregraph.CCLabelOf(0)
+	for v := incregraph.VertexID(1); v <= 10; v++ {
+		if l := incregraph.CCLabelOf(v); l < want {
+			want = l
+		}
+	}
+	for _, p := range g.Collect(0) {
+		if p.Val != want {
+			t.Fatalf("vertex %d label %d want %d", p.ID, p.Val, want)
+		}
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	events := []incregraph.EdgeEvent{{Edge: incregraph.Edge{Src: 1, Dst: 2, W: 3}}}
+	path := dir + "/x.bin"
+	if err := incregraph.SaveEvents(path, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := incregraph.LoadEvents(path)
+	if err != nil || len(got) != 1 || got[0] != events[0] {
+		t.Fatalf("round trip: %v %v", got, err)
+	}
+}
+
+func TestFacadeCheckpointResume(t *testing.T) {
+	edges := gen.Path(30)
+	g := incregraph.New(incregraph.Config{Ranks: 2}, incregraph.BFS())
+	g.InitVertex(0, 0)
+	if _, err := g.Run(incregraph.StreamEdges(edges[:15])); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := incregraph.LoadCheckpoint(&buf, incregraph.Config{}, incregraph.BFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Run(incregraph.StreamEdges(edges[15:])); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := g2.Query(0, 29).Value; lvl != 30 {
+		t.Fatalf("resumed path end level = %d", lvl)
+	}
+	if _, err := incregraph.LoadCheckpoint(bytes.NewReader([]byte("junk")), incregraph.Config{}); err == nil {
+		t.Fatal("junk checkpoint should fail")
+	}
+}
+
+func TestFacadeSignalAndDrain(t *testing.T) {
+	g := incregraph.New(incregraph.Config{Ranks: 2}, incregraph.DegreeTracker())
+	live := incregraph.NewLiveStream()
+	if err := g.Start(live); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gen.Star(20) {
+		live.PushEdge(e)
+	}
+	g.Signal(0, 5, 99) // DegreeTracker is not SignalAware: safely ignored
+	g.Drain(live)
+	if deg := g.Query(0, 0).Value; deg != 19 {
+		t.Fatalf("hub degree after Drain = %d", deg)
+	}
+	live.Close()
+	stats := g.Wait()
+	if len(stats.PerRank) != 2 || stats.EventSkew() < 1 {
+		t.Fatalf("per-rank stats missing: %+v", stats.PerRank)
+	}
+}
+
+func TestFacadeWidestPath(t *testing.T) {
+	edges := []incregraph.Edge{
+		{Src: 0, Dst: 1, W: 5},
+		{Src: 1, Dst: 2, W: 3},
+		{Src: 0, Dst: 2, W: 1},
+	}
+	g := incregraph.New(incregraph.Config{Ranks: 2, WeightPolicy: incregraph.KeepMaxWeight},
+		incregraph.WidestPath())
+	g.InitVertex(0, 0)
+	if _, err := g.Run(incregraph.StreamEdges(edges)); err != nil {
+		t.Fatal(err)
+	}
+	if w := g.Query(0, 2).Value; w != 3 {
+		t.Fatalf("widest(2) = %d, want 3", w)
+	}
+	want := incregraph.StaticWidestPath(g.Topology(), 0)
+	if want[2] != 3 {
+		t.Fatalf("static widest = %v", want)
+	}
+}
+
+func TestFacadeDirectedMode(t *testing.T) {
+	g := incregraph.New(incregraph.Config{Ranks: 2, Directed: true}, incregraph.DirectedBFS())
+	g.InitVertex(0, 0)
+	if _, err := g.Run(incregraph.StreamEdges(gen.Path(5))); err != nil {
+		t.Fatal(err)
+	}
+	if lvl := g.Query(0, 4).Value; lvl != 5 {
+		t.Fatalf("directed path end = %d", lvl)
+	}
+	// Directed SSSP and widest variants construct fine too.
+	_ = incregraph.DirectedSSSP()
+	_ = incregraph.DirectedWidestPath()
+}

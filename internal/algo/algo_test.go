@@ -1,0 +1,124 @@
+package algo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incregraph/internal/core"
+	"incregraph/internal/graph"
+)
+
+func TestNames(t *testing.T) {
+	cases := map[string]core.Program{
+		"bfs":    BFS{},
+		"sssp":   SSSP{},
+		"cc":     CC{},
+		"st":     NewMultiST(nil),
+		"degree": Degree{},
+		"genbfs": NewGenBFS(),
+		"widest": Widest{},
+	}
+	for want, p := range cases {
+		n, ok := p.(core.Named)
+		if !ok {
+			t.Fatalf("%s does not implement Named", want)
+		}
+		if n.Name() != want {
+			t.Fatalf("Name = %q want %q", n.Name(), want)
+		}
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if norm(core.Unset) != core.Infinity {
+		t.Fatal("norm(Unset) != Infinity")
+	}
+	if norm(5) != 5 {
+		t.Fatal("norm(5) != 5")
+	}
+	if norm(core.Infinity) != core.Infinity {
+		t.Fatal("norm(Infinity) != Infinity")
+	}
+}
+
+func TestGenPackUnpack(t *testing.T) {
+	cases := []struct {
+		src      bool
+		gen, lvl uint64
+	}{
+		{false, 0, 0},
+		{true, 0, 1},
+		{false, 1, 42},
+		{true, (1 << 23) - 1, (1 << 40) - 1},
+	}
+	for _, c := range cases {
+		v := genPack(c.src, c.gen, c.lvl)
+		src, gen, lvl := genUnpack(v)
+		if src != c.src || gen != c.gen || lvl != c.lvl {
+			t.Fatalf("pack/unpack(%v,%d,%d) = (%v,%d,%d)", c.src, c.gen, c.lvl, src, gen, lvl)
+		}
+	}
+	// Unset decodes as gen 0, unknown level, not source.
+	if src, gen, lvl := genUnpack(core.Unset); src || gen != 0 || lvl != genInfLevel {
+		t.Fatalf("Unset unpacks to (%v,%d,%d)", src, gen, lvl)
+	}
+}
+
+func TestGenPackRoundTripQuick(t *testing.T) {
+	f := func(src bool, gen, lvl uint64) bool {
+		gen &= (1 << 23) - 1
+		lvl &= (1 << 40) - 1
+		s, g, l := genUnpack(genPack(src, gen, lvl))
+		return s == src && g == gen && l == lvl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenLevel(t *testing.T) {
+	if GenLevel(genPack(false, 7, 0)) != core.Infinity {
+		t.Fatal("unknown level should map to Infinity")
+	}
+	if GenLevel(genPack(true, 3, 9)) != 9 {
+		t.Fatal("GenLevel lost the level")
+	}
+	if GenLevel(core.Unset) != core.Infinity {
+		t.Fatal("Unset should map to Infinity")
+	}
+}
+
+func TestMultiSTConstruction(t *testing.T) {
+	st := NewMultiST([]graph.VertexID{10, 20, 10})
+	if st.Sources() != 3 {
+		t.Fatalf("Sources = %d", st.Sources())
+	}
+	if bit, ok := st.SourceBit(10); !ok || bit != 0 {
+		t.Fatalf("SourceBit(10) = %d,%v — first registration wins", bit, ok)
+	}
+	if bit, ok := st.SourceBit(20); !ok || bit != 1 {
+		t.Fatalf("SourceBit(20) = %d,%v", bit, ok)
+	}
+	if _, ok := st.SourceBit(99); ok {
+		t.Fatal("SourceBit(non-source) should be false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >64 sources")
+		}
+	}()
+	NewMultiST(make([]graph.VertexID, 65))
+}
+
+func TestDeleteAwareness(t *testing.T) {
+	// Only Degree and GenBFS support decremental events.
+	var deleteAware = map[string]bool{"degree": true, "genbfs": true}
+	progs := []core.Program{BFS{}, SSSP{}, CC{}, NewMultiST(nil), Degree{}, NewGenBFS(), Widest{}}
+	for _, p := range progs {
+		name := p.(core.Named).Name()
+		_, ok := p.(core.DeleteAware)
+		if ok != deleteAware[name] {
+			t.Fatalf("%s: DeleteAware = %v, want %v", name, ok, deleteAware[name])
+		}
+	}
+}

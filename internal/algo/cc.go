@@ -1,0 +1,67 @@
+package algo
+
+import (
+	"incregraph/internal/core"
+	"incregraph/internal/graph"
+)
+
+// CC is the incremental Connected Components of Algorithm 6: label
+// propagation where every vertex initially assumes the hashed label of its
+// own ID (graph.CCLabel) and the minimum label in a component dominates.
+// The monotonically evolving state of §II-B: a vertex's label only ever
+// decreases, reaching the component-wide minimum. No Init is required —
+// "the CC algorithm does not require an initiating vertex" (§IV).
+//
+// CC requires the engine's undirected mode (component connectivity is a
+// symmetric relation).
+type CC struct{}
+
+// Name implements core.Named.
+func (CC) Name() string { return "cc" }
+
+// Init is not used by CC; labelling happens on edge addition.
+func (CC) Init(ctx *core.Ctx) {}
+
+// label returns the vertex's effective label, assuming self-domination if
+// no event has labelled it yet.
+func ccValue(ctx *core.Ctx) uint64 {
+	if v := ctx.Value(); v != core.Unset {
+		return v
+	}
+	v := graph.CCLabel(ctx.Vertex())
+	ctx.SetValue(v)
+	return v
+}
+
+// OnAdd labels a new vertex with its own hash (Algorithm 6: "if we are a
+// new vertex, label us").
+func (CC) OnAdd(ctx *core.Ctx, nbr graph.VertexID, w graph.Weight) {
+	ccValue(ctx)
+}
+
+// OnReverseAdd labels a new vertex, then applies the update step against
+// the first endpoint's label.
+func (c CC) OnReverseAdd(ctx *core.Ctx, nbr graph.VertexID, nbrVal uint64, w graph.Weight) {
+	ccValue(ctx)
+	c.OnUpdate(ctx, nbr, nbrVal, w)
+}
+
+// OnUpdate merges component labels: the smaller label wins and floods; a
+// vertex holding a smaller label notifies the visitor back.
+func (CC) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w graph.Weight) {
+	cur := ccValue(ctx)
+	if fromVal == core.Unset {
+		// The visitor carried no label (directed-mode edge case): offer ours.
+		ctx.UpdateNbr(from, cur)
+		return
+	}
+	switch {
+	case cur < fromVal:
+		// Our component dominates: notify back the visitor.
+		ctx.UpdateNbr(from, cur)
+	case cur > fromVal:
+		// Their component dominates: adopt and flood.
+		ctx.SetValue(fromVal)
+		ctx.UpdateNbrs(fromVal)
+	}
+}

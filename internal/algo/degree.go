@@ -1,0 +1,45 @@
+package algo
+
+import (
+	"incregraph/internal/core"
+	"incregraph/internal/graph"
+)
+
+// Degree is the trivial event-centric query of §II-A: "implement a
+// callback on edge insertion and deletion: if an edge is added, increment
+// a counter tracking the vertex degree; if removed, decrement it". The
+// vertex's local state is its current degree, so degree thresholds can
+// drive "When" triggers ("enabling a user-defined callback if the degree
+// exceeds a certain threshold").
+type Degree struct{}
+
+// Name implements core.Named.
+func (Degree) Name() string { return "degree" }
+
+// Init is unused.
+func (Degree) Init(ctx *core.Ctx) {}
+
+// OnAdd refreshes the degree counter after an out-edge insertion.
+func (Degree) OnAdd(ctx *core.Ctx, nbr graph.VertexID, w graph.Weight) {
+	ctx.SetValue(uint64(ctx.Degree()))
+}
+
+// OnReverseAdd refreshes the degree counter after a reverse-edge insertion.
+func (Degree) OnReverseAdd(ctx *core.Ctx, nbr graph.VertexID, nbrVal uint64, w graph.Weight) {
+	ctx.SetValue(uint64(ctx.Degree()))
+}
+
+// OnUpdate is unused: degree tracking never propagates.
+func (Degree) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w graph.Weight) {}
+
+// OnDelete decrements on edge removal (§VI-B decremental events).
+func (Degree) OnDelete(ctx *core.Ctx, nbr graph.VertexID, w graph.Weight) {
+	ctx.SetValue(uint64(ctx.Degree()))
+}
+
+// OnReverseDelete decrements on reverse-edge removal.
+func (Degree) OnReverseDelete(ctx *core.Ctx, nbr graph.VertexID, nbrVal uint64, w graph.Weight) {
+	ctx.SetValue(uint64(ctx.Degree()))
+}
+
+var _ core.DeleteAware = Degree{}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"testing"
+
+	"incregraph/internal/csr"
+	"incregraph/internal/gen"
+	"incregraph/internal/graph"
+	"incregraph/internal/static"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{BatchSize: 0}); err == nil {
+		t.Fatal("batch size 0 should fail")
+	}
+	if _, err := New(Config{BatchSize: 10, Algorithm: MultiST}); err == nil {
+		t.Fatal("MultiST without sources should fail")
+	}
+	if _, err := New(Config{BatchSize: 10, Algorithm: BFS}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchBoundaries(t *testing.T) {
+	s, _ := New(Config{BatchSize: 3, Algorithm: BFS, Source: 0, Undirected: true})
+	edges := gen.Path(8) // 7 edges -> 2 full batches + 1 pending
+	boundaries := 0
+	for _, e := range edges {
+		if s.Ingest(e) {
+			boundaries++
+		}
+	}
+	if boundaries != 2 || s.Batches() != 2 {
+		t.Fatalf("boundaries=%d batches=%d", boundaries, s.Batches())
+	}
+	if s.Staleness() != 1 || s.Edges() != 6 {
+		t.Fatalf("staleness=%d edges=%d", s.Staleness(), s.Edges())
+	}
+	// Queries see only the last boundary: vertex 6 entered in batch 2
+	// (edges 0..5 cover vertices 0..6), vertex 7 is still pending.
+	if lvl, ok := s.Query(6); !ok || lvl != 7 {
+		t.Fatalf("Query(6) = %d,%v", lvl, ok)
+	}
+	if _, ok := s.Query(7); ok {
+		t.Fatal("vertex 7 should be invisible until the next boundary")
+	}
+	s.Flush()
+	if s.Staleness() != 0 || s.Batches() != 3 {
+		t.Fatalf("after flush: staleness=%d batches=%d", s.Staleness(), s.Batches())
+	}
+	if lvl, ok := s.Query(7); !ok || lvl != 8 {
+		t.Fatalf("Query(7) after flush = %d,%v", lvl, ok)
+	}
+	// Flush with nothing pending is a no-op.
+	s.Flush()
+	if s.Batches() != 3 {
+		t.Fatal("empty flush created a batch")
+	}
+}
+
+func TestKernels(t *testing.T) {
+	edges := gen.ErdosRenyi(100, 500, 9, 3)
+	g := csr.Build(edges, true)
+	cases := []struct {
+		cfg  Config
+		want []uint64
+	}{
+		{Config{BatchSize: 100, Algorithm: BFS, Source: 0, Undirected: true}, static.BFS(g, 0)},
+		{Config{BatchSize: 100, Algorithm: SSSP, Source: 0, Undirected: true}, static.Dijkstra(g, 0)},
+		{Config{BatchSize: 100, Algorithm: CC, Undirected: true}, static.ConnectedComponents(g)},
+		{Config{BatchSize: 100, Algorithm: MultiST, Sources: []graph.VertexID{0, 7}, Undirected: true}, static.MultiST(g, []graph.VertexID{0, 7})},
+	}
+	for i, tc := range cases {
+		s, err := New(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range edges {
+			s.Ingest(e)
+		}
+		s.Flush()
+		for v := range tc.want {
+			got, _ := s.Query(graph.VertexID(v))
+			if got != tc.want[v] {
+				t.Fatalf("kernel %d vertex %d: %d vs %d", i, v, got, tc.want[v])
+			}
+		}
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	s, _ := New(Config{BatchSize: 50, Algorithm: BFS, Source: 0, Undirected: true})
+	for _, e := range gen.ErdosRenyi(200, 500, 1, 4) {
+		s.Ingest(e)
+	}
+	s.Flush()
+	if s.BuildTime <= 0 || s.ComputeTime <= 0 {
+		t.Fatalf("cost accounting empty: build=%v compute=%v", s.BuildTime, s.ComputeTime)
+	}
+}

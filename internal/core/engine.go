@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incregraph/internal/graph"
+	"incregraph/internal/partition"
+	"incregraph/internal/stream"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Ranks is the number of shared-nothing event-loop goroutines — the
+	// reproduction's analogue of the paper's MPI process count. Must be
+	// >= 1.
+	Ranks int
+	// Undirected selects the paper's undirected-edge protocol: every ADD
+	// at the edge source triggers a REVERSE_ADD at the destination, which
+	// inserts the reverse edge (§III-A, §III-C). When false, edges are
+	// directed and no reverse events are generated.
+	Undirected bool
+	// SmallCap is the degree-aware promotion threshold of the graph store
+	// (0 selects the default).
+	SmallCap int
+	// WeightPolicy selects how duplicate-edge weights merge (default
+	// WeightMin). Pick the policy monotone-compatible with the hooked
+	// algorithms: WeightMin for SSSP, WeightMax for widest-path.
+	WeightPolicy graph.WeightPolicy
+	// BatchSize is the outbound message batching granularity (0 selects
+	// 256). Batching amortizes mailbox synchronization without breaking
+	// per-sender FIFO order.
+	BatchSize int
+	// Partitioner overrides the default consistent-hash partitioner.
+	Partitioner partition.Partitioner
+	// IngestFirst makes ranks pull a topology event from their stream
+	// before draining the mailbox, inverting the default prioritization of
+	// algorithmic events over ingestion (the latency/ingest-rate tradeoff
+	// of §V-C). Kept as an ablation knob.
+	IngestFirst bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ranks == 0 {
+		o.Ranks = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = partition.NewHashed(o.Ranks)
+	}
+	return o
+}
+
+// Engine hosts the dynamic graph and the live state of every hooked
+// program, processing topology and algorithmic events asynchronously,
+// concurrently, and without shared state (§II-A). An Engine runs one
+// ingestion pass: construct it, register triggers, Start it with one
+// stream per rank, interact (queries, snapshots, inits), then Wait.
+type Engine struct {
+	opts     Options
+	part     partition.Partitioner
+	programs []Program
+	triggers []trigger
+	ranks    []*rank
+
+	// inflight counts unprocessed events per snapshot-sequence ring slot
+	// (ring size 4 > the 2 sequences that can coexist). The engine is
+	// quiescent iff every slot is zero.
+	inflight [4]atomic.Int64
+	// snapSeq is the current snapshot sequence; bumping it is the marker
+	// of §III-D.
+	snapSeq atomic.Uint32
+	// activeSnap is the single in-flight snapshot, if any.
+	activeSnap atomic.Pointer[Snapshot]
+	snapMu     sync.Mutex
+
+	streamsLeft atomic.Int32
+	ingested    atomic.Uint64
+	done        chan struct{}
+	finishOnce  sync.Once
+	finished    atomic.Bool
+	started     atomic.Bool
+	wg          sync.WaitGroup
+
+	startTime time.Time
+	stats     Stats
+	statsOnce sync.Once
+}
+
+// New builds an engine hosting the given programs. Multiple programs
+// maintain their state concurrently over the same dynamic topology
+// (the multi-algorithm design goal of §I; the paper's prototype supported
+// one, this implementation lifts that limitation).
+func New(opts Options, programs ...Program) *Engine {
+	opts = opts.withDefaults()
+	if opts.Ranks < 1 {
+		panic("core: Ranks must be >= 1")
+	}
+	if opts.Partitioner.Ranks() != opts.Ranks {
+		panic(fmt.Sprintf("core: partitioner covers %d ranks, engine has %d",
+			opts.Partitioner.Ranks(), opts.Ranks))
+	}
+	if len(programs) >= int(NoAlgo) {
+		panic("core: too many programs")
+	}
+	e := &Engine{
+		opts:     opts,
+		part:     opts.Partitioner,
+		programs: programs,
+		done:     make(chan struct{}),
+	}
+	e.ranks = make([]*rank, opts.Ranks)
+	for i := range e.ranks {
+		e.ranks[i] = newRank(e, i)
+	}
+	return e
+}
+
+// Programs returns the number of hooked programs.
+func (e *Engine) Programs() int { return len(e.programs) }
+
+// Ranks returns the rank count.
+func (e *Engine) Ranks() int { return e.opts.Ranks }
+
+// Start launches the rank loops over the given streams (at most one per
+// rank; missing ones idle). It returns immediately; use Wait to block
+// until every stream is exhausted and the engine is quiescent.
+func (e *Engine) Start(streams []stream.Stream) error {
+	if len(streams) > len(e.ranks) {
+		return fmt.Errorf("core: %d streams for %d ranks", len(streams), len(e.ranks))
+	}
+	if e.started.Swap(true) {
+		return fmt.Errorf("core: engine already started")
+	}
+	e.streamsLeft.Store(int32(len(e.ranks)))
+	e.startTime = time.Now()
+	for i, r := range e.ranks {
+		if i < len(streams) && streams[i] != nil {
+			r.stream = streams[i]
+			if live, ok := r.stream.(stream.Live); ok {
+				live.SetNotify(r.inbox.poke)
+			}
+		} else {
+			r.streamDone = true
+			e.streamsLeft.Add(-1)
+		}
+		e.wg.Add(1)
+		go r.loop()
+	}
+	return nil
+}
+
+// Ingested returns the number of topology events pulled from streams so
+// far. Combined with Quiescent it gives a sound "everything pushed has
+// been fully processed" check for live streams: by the time an event is
+// counted here it is already tracked by the in-flight counters.
+func (e *Engine) Ingested() uint64 { return e.ingested.Load() }
+
+// Quiescent reports whether no event is currently buffered, queued, or
+// mid-processing. With idle live streams this is the moment a collected
+// global state equals the state after "a defined set of events have been
+// ingested and processed" (§II-C).
+func (e *Engine) Quiescent() bool {
+	for i := range e.inflight {
+		if e.inflight[i].Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Wait blocks until the engine terminates (all streams exhausted, all
+// cascades quiescent) and returns the run statistics.
+func (e *Engine) Wait() Stats {
+	<-e.done
+	e.wg.Wait()
+	e.statsOnce.Do(func() {
+		s := Stats{Duration: time.Since(e.startTime), Ranks: e.opts.Ranks}
+		for _, r := range e.ranks {
+			rs := RankStats{
+				TopoEvents: r.topoEvents,
+				AlgoEvents: r.algoEvents,
+				Vertices:   r.store.NumVertices(),
+				Edges:      r.store.NumEdges(),
+			}
+			s.PerRank = append(s.PerRank, rs)
+			s.TopoEvents += rs.TopoEvents
+			s.AlgoEvents += rs.AlgoEvents
+			s.TotalEvents += r.processed
+			s.Vertices += rs.Vertices
+			s.Edges += rs.Edges
+		}
+		if s.Duration > 0 {
+			s.EventsPerSec = float64(s.TopoEvents) / s.Duration.Seconds()
+		}
+		e.stats = s
+	})
+	return e.stats
+}
+
+// Run is Start followed by Wait.
+func (e *Engine) Run(streams []stream.Stream) (Stats, error) {
+	if err := e.Start(streams); err != nil {
+		return Stats{}, err
+	}
+	return e.Wait(), nil
+}
+
+// InitVertex instantiates program algo at vertex v (e.g. chooses the BFS
+// source). Per §VI-A it may be called before Start (the event is queued),
+// or at any point during the run.
+func (e *Engine) InitVertex(algo int, v graph.VertexID) {
+	e.checkAlgo(algo)
+	e.emitExternal(Event{Kind: KindInit, Algo: uint8(algo), To: v})
+}
+
+// Signal delivers a user-generated value to program algo at vertex v —
+// the attribute-update event of §III-A's footnote. The program must
+// implement SignalAware (otherwise the event is ignored at delivery).
+// Like InitVertex it may be called before Start or at any time during a
+// run; the vertex is created if absent.
+func (e *Engine) Signal(algo int, v graph.VertexID, val uint64) {
+	e.checkAlgo(algo)
+	e.emitExternal(Event{Kind: KindSignal, Algo: uint8(algo), To: v, Val: val})
+}
+
+// emitExternal labels an event with the current snapshot sequence and
+// routes it. The increment-then-verify loop guarantees the event is
+// counted in the ring slot matching its label even when it races a
+// snapshot marker, so a snapshot can never be declared drained while an
+// event claiming the old version is still unprocessed.
+func (e *Engine) emitExternal(ev Event) {
+	for {
+		s := e.snapSeq.Load()
+		e.inflight[s&3].Add(1)
+		if e.snapSeq.Load() == s {
+			ev.Seq = s
+			break
+		}
+		e.inflight[s&3].Add(-1)
+	}
+	e.ranks[e.part.Owner(ev.To)].inbox.push([]Event{ev})
+}
+
+// tryFinish detects global termination: every stream exhausted and no
+// event buffered, queued, or mid-processing anywhere. Callable from any
+// rank; closes done exactly once.
+func (e *Engine) tryFinish() bool {
+	if e.streamsLeft.Load() != 0 {
+		return false
+	}
+	for i := range e.inflight {
+		if e.inflight[i].Load() != 0 {
+			return false
+		}
+	}
+	e.finishOnce.Do(func() {
+		e.finished.Store(true)
+		close(e.done)
+	})
+	return true
+}
+
+// wakeAll nudges every rank to re-examine snapshot duty / termination.
+func (e *Engine) wakeAll() {
+	for _, r := range e.ranks {
+		r.inbox.poke()
+	}
+}
+
+func (e *Engine) checkAlgo(algo int) {
+	if algo < 0 || algo >= len(e.programs) {
+		panic(fmt.Sprintf("core: algo %d out of range (have %d programs)", algo, len(e.programs)))
+	}
+}
+
+// QueryResult is the answer to a local-state observation.
+type QueryResult struct {
+	// Value is the vertex's state for the queried program (Unset if the
+	// vertex does not exist yet).
+	Value uint64
+	// Exists reports whether the vertex has materialized.
+	Exists bool
+}
+
+// QueryLocal observes the local state of vertex v for program algo
+// (§III-E): during a run the request is served by the owning rank between
+// events, in constant time and causally consistent with that vertex's
+// history; before Start or after termination it reads the state directly.
+func (e *Engine) QueryLocal(algo int, v graph.VertexID) QueryResult {
+	e.checkAlgo(algo)
+	if !e.started.Load() || e.finished.Load() {
+		return e.directQuery(algo, v)
+	}
+	r := e.ranks[e.part.Owner(v)]
+	req := queryReq{algo: uint8(algo), v: v, reply: make(chan QueryResult, 1)}
+	r.pushQuery(req)
+	select {
+	case res := <-req.reply:
+		return res
+	case <-e.done:
+		// The rank may have answered while it drained on exit.
+		select {
+		case res := <-req.reply:
+			return res
+		default:
+			return e.directQuery(algo, v)
+		}
+	}
+}
+
+func (e *Engine) directQuery(algo int, v graph.VertexID) QueryResult {
+	r := e.ranks[e.part.Owner(v)]
+	slot, ok := r.store.SlotOf(v)
+	if !ok {
+		return QueryResult{}
+	}
+	vals := r.values[algo]
+	if int(slot) >= len(vals) {
+		return QueryResult{Exists: true}
+	}
+	return QueryResult{Value: vals[slot], Exists: true}
+}
+
+// VertexValue pairs a vertex with its algorithm state.
+type VertexValue struct {
+	ID  graph.VertexID
+	Val uint64
+}
+
+// Collect gathers the complete state of program algo after the engine has
+// terminated (or before it starts), sorted by vertex ID. For collection
+// while the engine runs, use SnapshotAsync.
+func (e *Engine) Collect(algo int) []VertexValue {
+	e.checkAlgo(algo)
+	if e.started.Load() && !e.finished.Load() {
+		panic("core: Collect during a run; use SnapshotAsync")
+	}
+	var out []VertexValue
+	for _, r := range e.ranks {
+		vals := r.values[algo]
+		r.store.ForEachVertex(func(slot graph.Slot, id graph.VertexID) bool {
+			var v uint64
+			if int(slot) < len(vals) {
+				v = vals[slot]
+			}
+			out = append(out, VertexValue{ID: id, Val: v})
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CollectMap is Collect as a map.
+func (e *Engine) CollectMap(algo int) map[graph.VertexID]uint64 {
+	pairs := e.Collect(algo)
+	m := make(map[graph.VertexID]uint64, len(pairs))
+	for _, p := range pairs {
+		m[p.ID] = p.Val
+	}
+	return m
+}
+
+// RankStats describes one rank's share of a run — the load-balance view
+// the paper's partitioning discussion (§III-C) cares about: consistent
+// hashing balances vertices, but power-law degree skew can still unbalance
+// edges and events.
+type RankStats struct {
+	TopoEvents uint64
+	AlgoEvents uint64
+	Vertices   int
+	Edges      uint64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Duration is wall-clock time from Start to termination.
+	Duration time.Duration
+	// Ranks is the rank count the run used.
+	Ranks int
+	// TopoEvents is the number of topology events ingested from streams
+	// (the paper's "edge events").
+	TopoEvents uint64
+	// AlgoEvents is the number of algorithmic events processed
+	// (REVERSE_ADD, UPDATE, INIT).
+	AlgoEvents uint64
+	// TotalEvents is every event processed.
+	TotalEvents uint64
+	// Vertices and Edges describe the final topology (directed adjacency
+	// entries; an undirected graph counts each edge twice).
+	Vertices int
+	Edges    uint64
+	// EventsPerSec is TopoEvents/Duration — the paper's headline metric.
+	EventsPerSec float64
+	// PerRank breaks the totals down by rank.
+	PerRank []RankStats
+}
+
+// EventSkew returns max/mean of per-rank processed events (1.0 = perfectly
+// balanced; 0 if no events were processed).
+func (s Stats) EventSkew() float64 {
+	if len(s.PerRank) == 0 {
+		return 0
+	}
+	var max, sum uint64
+	for _, r := range s.PerRank {
+		ev := r.TopoEvents + r.AlgoEvents
+		sum += ev
+		if ev > max {
+			max = ev
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.PerRank))
+	return float64(max) / mean
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("ranks=%d topo=%d algo=%d total=%d V=%d E=%d dur=%s rate=%.0f ev/s",
+		s.Ranks, s.TopoEvents, s.AlgoEvents, s.TotalEvents, s.Vertices, s.Edges,
+		s.Duration.Round(time.Millisecond), s.EventsPerSec)
+}

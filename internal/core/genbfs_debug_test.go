@@ -1,0 +1,119 @@
+package core_test
+
+// Temporary minimization harness for the GenBFS delete discrepancy.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/csr"
+	"incregraph/internal/graph"
+	"incregraph/internal/static"
+	"incregraph/internal/stream"
+)
+
+// canonKey identifies an undirected edge regardless of orientation: the
+// store treats (a,b) and (b,a) as the same edge.
+func canonKey(a, b graph.VertexID) [2]graph.VertexID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]graph.VertexID{a, b}
+}
+
+func genDeleteCase(seed int64, n, m int, delProb float64) (events []graph.EdgeEvent, final []graph.Edge) {
+	rng := rand.New(rand.NewSource(seed))
+	// orient pins one orientation per undirected edge, forever: every add,
+	// re-add, and delete of the same edge must travel the same FIFO path
+	// (stream -> owner(src) -> owner(dst)) to stay causally ordered — the
+	// engine's documented decremental-event invariant.
+	orient := map[[2]graph.VertexID][2]graph.VertexID{}
+	alive := map[[2]graph.VertexID]bool{}
+	var order [][2]graph.VertexID
+	for i := 0; i < m; i++ {
+		src := graph.VertexID(rng.Intn(n))
+		dst := graph.VertexID(rng.Intn(n))
+		k := canonKey(src, dst)
+		o, seen := orient[k]
+		if !seen {
+			o = [2]graph.VertexID{src, dst}
+			orient[k] = o
+			order = append(order, k)
+		}
+		events = append(events, graph.EdgeEvent{Edge: graph.Edge{Src: o[0], Dst: o[1], W: 1}})
+		alive[k] = true
+		if rng.Float64() < delProb {
+			var keys [][2]graph.VertexID
+			for _, k := range order {
+				if alive[k] {
+					keys = append(keys, k)
+				}
+			}
+			if len(keys) > 0 {
+				k := keys[rng.Intn(len(keys))]
+				o := orient[k]
+				events = append(events, graph.EdgeEvent{Edge: graph.Edge{Src: o[0], Dst: o[1], W: 1}, Delete: true})
+				alive[k] = false
+			}
+		}
+	}
+	for _, k := range order {
+		if alive[k] {
+			o := orient[k]
+			final = append(final, graph.Edge{Src: o[0], Dst: o[1], W: 1})
+		}
+	}
+	return events, final
+}
+
+func runGenBFSOnce(events []graph.EdgeEvent, ranks int) map[graph.VertexID]uint64 {
+	e := core.New(core.Options{Ranks: ranks, Undirected: true}, algo.NewGenBFS())
+	e.InitVertex(0, 0)
+	// Deletes must be causally ordered after their adds, which only one
+	// stream guarantees (events across streams are concurrent, §III-C).
+	if _, err := e.Run([]stream.Stream{stream.FromEvents(events)}); err != nil {
+		panic(err)
+	}
+	out := map[graph.VertexID]uint64{}
+	for _, p := range e.Collect(0) {
+		out[p.ID] = algo.GenLevel(p.Val)
+	}
+	return out
+}
+
+func TestGenBFSDebugSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug harness")
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		for _, size := range []struct{ n, m int }{{6, 20}, {10, 40}, {20, 100}} {
+			events, final := genDeleteCase(seed, size.n, size.m, 0.3)
+			want := static.BFS(csr.Build(final, true), 0)
+			for _, ranks := range []int{1, 4} {
+				got := runGenBFSOnce(events, ranks)
+				for id, lvl := range got {
+					w := uint64(static.Unreached)
+					if int(id) < len(want) {
+						w = want[id]
+					}
+					if lvl != w {
+						t.Logf("seed=%d n=%d m=%d ranks=%d vertex=%d got=%d want=%d", seed, size.n, size.m, ranks, id, lvl, w)
+						t.Logf("events:")
+						for i, ev := range events {
+							tag := "add"
+							if ev.Delete {
+								tag = "del"
+							}
+							t.Logf("  %2d: %s %d-%d", i, tag, ev.Src, ev.Dst)
+						}
+						t.Fatalf("mismatch (final edges %v)", final)
+					}
+				}
+				_ = fmt.Sprint()
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import "sync"
+
+// mailbox is a rank's inbound event queue. Senders append batches under a
+// short critical section; appends are atomic, so events from any single
+// sender are delivered in the order that sender appended them — the
+// pairwise-FIFO guarantee the paper's undirected-edge serialization relies
+// on (§III-C). Senders never block, so no cycle of blocked sends can
+// deadlock the engine; memory is the only backpressure, matching the
+// paper's saturation methodology.
+type mailbox struct {
+	mu    sync.Mutex
+	queue []Event
+	// wake carries at most one token; a sender deposits it after
+	// appending, and an idle rank parks on it.
+	wake chan struct{}
+	// spare recycles the previously-drained slice to avoid reallocation.
+	spare []Event
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{wake: make(chan struct{}, 1)}
+}
+
+// push appends a batch of events and wakes the owner if it is parked.
+func (m *mailbox) push(batch []Event) {
+	if len(batch) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.queue = append(m.queue, batch...)
+	m.mu.Unlock()
+	m.poke()
+}
+
+// poke deposits a wake token without delivering events (used to nudge a
+// parked rank to re-check snapshot duty, queries, or termination).
+func (m *mailbox) poke() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain swaps out and returns all queued events (nil if none). The caller
+// must hand the slice back via recycle once processed.
+func (m *mailbox) drain() []Event {
+	m.mu.Lock()
+	q := m.queue
+	if len(q) == 0 {
+		m.mu.Unlock()
+		return nil
+	}
+	if m.spare != nil {
+		m.queue = m.spare[:0]
+		m.spare = nil
+	} else {
+		m.queue = nil
+	}
+	m.mu.Unlock()
+	return q
+}
+
+// recycle returns a drained slice for reuse.
+func (m *mailbox) recycle(batch []Event) {
+	if cap(batch) == 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.spare == nil {
+		m.spare = batch[:0]
+	} else if m.queue == nil {
+		m.queue = batch[:0]
+	}
+	m.mu.Unlock()
+}
+
+// wait parks until a wake token arrives or done closes. It returns
+// immediately if a token is already pending.
+func (m *mailbox) wait(done <-chan struct{}) {
+	select {
+	case <-m.wake:
+	case <-done:
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMailboxPushDrain(t *testing.T) {
+	m := newMailbox()
+	if m.drain() != nil {
+		t.Fatal("empty drain should be nil")
+	}
+	m.push([]Event{{To: 1}, {To: 2}})
+	m.push([]Event{{To: 3}})
+	got := m.drain()
+	if len(got) != 3 || got[0].To != 1 || got[2].To != 3 {
+		t.Fatalf("drain = %+v", got)
+	}
+	m.recycle(got)
+	if m.drain() != nil {
+		t.Fatal("second drain should be nil")
+	}
+}
+
+func TestMailboxPushEmptyBatch(t *testing.T) {
+	m := newMailbox()
+	m.push(nil)
+	select {
+	case <-m.wake:
+		t.Fatal("empty push should not wake")
+	default:
+	}
+}
+
+func TestMailboxSenderFIFO(t *testing.T) {
+	m := newMailbox()
+	const senders, per = 4, 1000
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// From encodes sender, Val encodes sequence within sender.
+				m.push([]Event{{From: 1 << uint(s), Val: uint64(i)}})
+			}
+		}(s)
+	}
+	wg.Wait()
+	last := map[uint64]int64{}
+	total := 0
+	for {
+		batch := m.drain()
+		if batch == nil {
+			break
+		}
+		for _, ev := range batch {
+			prev, seen := last[uint64(ev.From)]
+			if seen && int64(ev.Val) != prev+1 {
+				t.Fatalf("sender %d out of order: %d after %d", ev.From, ev.Val, prev)
+			}
+			if !seen && ev.Val != 0 {
+				t.Fatalf("sender %d first event is %d", ev.From, ev.Val)
+			}
+			last[uint64(ev.From)] = int64(ev.Val)
+			total++
+		}
+	}
+	if total != senders*per {
+		t.Fatalf("delivered %d, want %d", total, senders*per)
+	}
+}
+
+func TestMailboxWakeOnPush(t *testing.T) {
+	m := newMailbox()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		m.wait(done)
+		close(finished)
+	}()
+	m.push([]Event{{To: 1}})
+	<-finished
+}
+
+func TestMailboxWakeOnDone(t *testing.T) {
+	m := newMailbox()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		m.wait(done)
+		close(finished)
+	}()
+	close(done)
+	<-finished
+}
+
+func TestMailboxPoke(t *testing.T) {
+	m := newMailbox()
+	m.poke()
+	m.poke() // second poke must not block
+	m.wait(nil)
+	if got := m.drain(); got != nil {
+		t.Fatalf("poke delivered events: %+v", got)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindAdd: "ADD", KindReverseAdd: "REVERSE_ADD", KindUpdate: "UPDATE",
+		KindInit: "INIT", KindDelete: "DELETE", KindReverseDelete: "REVERSE_DELETE",
+		KindSignal: "SIGNAL", Kind(99): "UNKNOWN",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q want %q", k, k.String(), s)
+		}
+	}
+}

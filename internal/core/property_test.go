@@ -1,0 +1,234 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/csr"
+	"incregraph/internal/gen"
+	"incregraph/internal/graph"
+	"incregraph/internal/static"
+	"incregraph/internal/stream"
+)
+
+// Property: for ANY edge multiset, stream shuffle, and rank count, every
+// dynamic algorithm converges to its static baseline. This is the REMO
+// determinism claim of §II-D expressed as a testing/quick property.
+func TestQuickConvergenceAllAlgorithms(t *testing.T) {
+	type input struct {
+		Pairs []struct{ S, D, W uint8 }
+		Seed  int64
+		Ranks uint8
+	}
+	f := func(in input) bool {
+		if len(in.Pairs) == 0 {
+			return true
+		}
+		edges := make([]graph.Edge, len(in.Pairs))
+		for i, p := range in.Pairs {
+			edges[i] = graph.Edge{
+				Src: graph.VertexID(p.S % 64),
+				Dst: graph.VertexID(p.D % 64),
+				W:   graph.Weight(p.W%16) + 1,
+			}
+		}
+		ranks := int(in.Ranks%6) + 1
+		shuffled := gen.Shuffle(edges, in.Seed)
+		srcID := edges[0].Src
+
+		g := csr.Build(edges, true)
+		gMin := csr.Build(dedupMinWeight(edges), true)
+
+		// BFS.
+		e := core.New(core.Options{Ranks: ranks, Undirected: true}, algo.BFS{})
+		e.InitVertex(0, srcID)
+		if _, err := e.Run(stream.Split(shuffled, ranks)); err != nil {
+			return false
+		}
+		wantBFS := static.BFS(g, srcID)
+		for _, p := range e.Collect(0) {
+			if p.Val != wantBFS[p.ID] {
+				t.Logf("bfs mismatch v%d: %d vs %d", p.ID, p.Val, wantBFS[p.ID])
+				return false
+			}
+		}
+
+		// SSSP (min-weight duplicate policy).
+		e = core.New(core.Options{Ranks: ranks, Undirected: true}, algo.SSSP{})
+		e.InitVertex(0, srcID)
+		if _, err := e.Run(stream.Split(shuffled, ranks)); err != nil {
+			return false
+		}
+		wantSSSP := static.Dijkstra(gMin, srcID)
+		for _, p := range e.Collect(0) {
+			if p.Val != wantSSSP[p.ID] {
+				t.Logf("sssp mismatch v%d: %d vs %d", p.ID, p.Val, wantSSSP[p.ID])
+				return false
+			}
+		}
+
+		// CC (no init).
+		e = core.New(core.Options{Ranks: ranks, Undirected: true}, algo.CC{})
+		if _, err := e.Run(stream.Split(shuffled, ranks)); err != nil {
+			return false
+		}
+		wantCC := static.ConnectedComponents(g)
+		for _, p := range e.Collect(0) {
+			if p.Val != wantCC[p.ID] {
+				t.Logf("cc mismatch v%d: %d vs %d", p.ID, p.Val, wantCC[p.ID])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stress: heavy concurrent interaction — queries and snapshots from many
+// goroutines while four algorithms ingest a scale-free stream.
+func TestStressConcurrentInteraction(t *testing.T) {
+	edges := gen.Shuffle(gen.PreferentialAttachment(3000, 8, 20, 5), 5)
+	st := algo.NewMultiST([]graph.VertexID{0, 1, 2})
+	e := core.New(core.Options{Ranks: 4, Undirected: true},
+		algo.BFS{}, algo.CC{}, st, algo.Degree{})
+	e.InitVertex(0, 0)
+	for _, s := range []graph.VertexID{0, 1, 2} {
+		e.InitVertex(2, s)
+	}
+	if err := e.Start(stream.Split(edges, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Query hammers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				algoIdx := rng.Intn(4)
+				e.QueryLocal(algoIdx, graph.VertexID(rng.Intn(3000)))
+			}
+		}(int64(w))
+	}
+	// Snapshot requester (serialized by the engine).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := e.SnapshotAsync(i % 4)
+			snap.Wait()
+		}
+	}()
+
+	e.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Correctness is unaffected by the interaction storm.
+	topoEdges := e.Topology()
+	wantBFS := static.BFS(topoEdges, 0)
+	for _, p := range e.Collect(0) {
+		if p.Val != wantBFS[p.ID] {
+			t.Fatalf("bfs vertex %d: %d vs %d", p.ID, p.Val, wantBFS[p.ID])
+		}
+	}
+	wantCC := static.ConnectedComponents(topoEdges)
+	for _, p := range e.Collect(1) {
+		if p.Val != wantCC[p.ID] {
+			t.Fatalf("cc vertex %d: %d vs %d", p.ID, p.Val, wantCC[p.ID])
+		}
+	}
+	wantST := static.MultiST(topoEdges, []graph.VertexID{0, 1, 2})
+	for _, p := range e.Collect(2) {
+		if p.Val != wantST[p.ID] {
+			t.Fatalf("st vertex %d: %b vs %b", p.ID, p.Val, wantST[p.ID])
+		}
+	}
+}
+
+// Snapshots of different programs interleaved on one engine.
+func TestSnapshotMultipleAlgorithms(t *testing.T) {
+	edges := gen.Shuffle(gen.ErdosRenyi(200, 1500, 1, 6), 7)
+	e := core.New(core.Options{Ranks: 3, Undirected: true}, algo.BFS{}, algo.CC{})
+	e.InitVertex(0, 0)
+	if err := e.Start(stream.Split(edges, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s1 := e.SnapshotAsync(0)
+	r1 := s1.Wait()
+	s2 := e.SnapshotAsync(1)
+	r2 := s2.Wait()
+	e.Wait()
+	// Mid-flight snapshots have monotone-consistent values vs the final
+	// state of their own program.
+	finalBFS, finalCC := e.CollectMap(0), e.CollectMap(1)
+	for _, p := range r1 {
+		if fv, ok := finalBFS[p.ID]; !ok || p.Val < fv {
+			t.Fatalf("bfs snapshot vertex %d: %d vs final %d", p.ID, p.Val, fv)
+		}
+	}
+	for _, p := range r2 {
+		if fv, ok := finalCC[p.ID]; !ok || p.Val < fv {
+			t.Fatalf("cc snapshot vertex %d: %d vs final %d", p.ID, p.Val, fv)
+		}
+	}
+}
+
+// SSSP absorbs weight-lowering re-insertions (the paper's "edge updates
+// limited only to reducing edge weight", §II-B).
+func TestSSSPWeightLowering(t *testing.T) {
+	events := []graph.Edge{
+		{Src: 0, Dst: 1, W: 10},
+		{Src: 1, Dst: 2, W: 10},
+		{Src: 0, Dst: 1, W: 2}, // lower an existing edge
+		{Src: 1, Dst: 2, W: 3},
+	}
+	e := core.New(core.Options{Ranks: 2, Undirected: true}, algo.SSSP{})
+	e.InitVertex(0, 0)
+	// One stream: the lowering must follow the original insertion.
+	if _, err := e.Run([]stream.Stream{stream.FromEdges(events)}); err != nil {
+		t.Fatal(err)
+	}
+	got := e.CollectMap(0)
+	if got[1] != 3 || got[2] != 6 {
+		t.Fatalf("costs after lowering = %v (want 1->3, 2->6)", got)
+	}
+}
+
+// Degenerate shapes: vertices with enormous fan-out and long chains mix.
+func TestHubAndChainTopology(t *testing.T) {
+	var edges []graph.Edge
+	// Hub 0 with 2000 spokes, then a chain hanging off spoke 1500.
+	edges = append(edges, gen.Star(2001)...)
+	for i := 0; i < 500; i++ {
+		edges = append(edges, graph.Edge{
+			Src: graph.VertexID(3000 + i), Dst: graph.VertexID(3000 + i + 1), W: 1})
+	}
+	edges = append(edges, graph.Edge{Src: 1500, Dst: 3000, W: 1})
+	e := runDynamic(t, gen.Shuffle(edges, 8), 4, true, map[int]graph.VertexID{0: 0}, algo.BFS{})
+	want := static.BFS(csr.Build(edges, true), 0)
+	checkAgainst(t, "hub-chain", e.Collect(0), want, nil)
+	// Deep chain end: 0 -> 1500 (2) -> 3000 (3) -> ... -> 3500 (503).
+	if got := e.CollectMap(0)[3500]; got != 503 {
+		t.Fatalf("chain end level = %d", got)
+	}
+}

@@ -1,0 +1,491 @@
+package core
+
+import (
+	"sync"
+
+	"incregraph/internal/graph"
+	"incregraph/internal/stream"
+)
+
+// rank is one shared-nothing event loop: it exclusively owns a shard of the
+// dynamic graph, the per-vertex state of every program for its vertices,
+// and one ingestion stream. All communication is through mailboxes.
+type rank struct {
+	id  int
+	eng *Engine
+
+	store *graph.Store
+	// values[algo][slot] is the live local state (§II-C local state).
+	values [][]uint64
+	// prevValues[algo][slot] is the previous-version state while a
+	// snapshot is in flight (§III-D); nil otherwise.
+	prevValues [][]uint64
+	// firedBits[trigger][slot/64] marks triggers that already fired for a
+	// vertex; monotonicity makes one firing per vertex sufficient (§III-E).
+	firedBits [][]uint64
+
+	inbox *mailbox
+	// out[dest] buffers outbound events per destination rank; flushed when
+	// full or before idling. Per-destination buffers preserve pairwise
+	// FIFO order.
+	out [][]Event
+
+	stream     stream.Stream
+	streamDone bool
+
+	// Snapshot-epoch state.
+	snapSeen    uint32 // marker of the last snapshot locally begun
+	snapMarker  uint32 // == snapSeen while a snapshot is active
+	snapCopyLen int    // shard size when the local copy was taken
+	contributed bool
+
+	qmu     sync.Mutex
+	queries []queryReq
+
+	// pendingDec batches in-flight decrements per ring slot for one
+	// processed batch; applied after the whole batch (and thus after all
+	// child emissions), so the counters can never falsely reach zero.
+	pendingDec [4]int64
+
+	// Statistics (owned by the rank; read after termination).
+	topoEvents uint64
+	algoEvents uint64
+	processed  uint64
+}
+
+type queryReq struct {
+	algo  uint8
+	v     graph.VertexID
+	reply chan QueryResult
+}
+
+func newRank(e *Engine, id int) *rank {
+	r := &rank{
+		id:    id,
+		eng:   e,
+		store: graph.NewStore(e.opts.SmallCap),
+		inbox: newMailbox(),
+		out:   make([][]Event, e.opts.Ranks),
+	}
+	r.store.SetWeightPolicy(e.opts.WeightPolicy)
+	r.values = make([][]uint64, len(e.programs))
+	r.prevValues = make([][]uint64, len(e.programs))
+	return r
+}
+
+// loop is the rank's event loop. Default priority (the paper's §V-C
+// tradeoff): algorithmic/mailbox events first, then one topology event
+// from the stream — each rank "pulling a topology event as soon as local
+// work is completed".
+func (r *rank) loop() {
+	defer r.eng.wg.Done()
+	for {
+		r.snapshotChores()
+		r.drainQueries()
+
+		// IngestFirst pulls a topology event BEFORE draining the mailbox
+		// (eager ingestion, §V-C's tradeoff knob) but the mailbox is still
+		// drained every iteration, so algorithmic work is deprioritized —
+		// never starved.
+		pulled := false
+		if r.eng.opts.IngestFirst {
+			pulled = r.pullStream()
+		}
+
+		if batch := r.inbox.drain(); batch != nil {
+			for i := range batch {
+				r.process(&batch[i])
+			}
+			r.inbox.recycle(batch)
+			r.applyDecrements()
+			r.flushAll()
+			continue
+		}
+		if pulled {
+			continue
+		}
+
+		if !r.eng.opts.IngestFirst && r.pullStream() {
+			continue
+		}
+
+		// Idle: everything buffered must be visible to others before we
+		// park or declare termination.
+		r.flushAll()
+		r.snapshotChores()
+		if r.eng.tryFinish() {
+			r.exit()
+			return
+		}
+		r.inbox.wait(r.eng.done)
+		if r.eng.finished.Load() {
+			r.exit()
+			return
+		}
+	}
+}
+
+// exit performs final duties after global termination: serve queries that
+// raced the shutdown and contribute to any pending snapshot (termination
+// implies the old version is drained).
+func (r *rank) exit() {
+	r.snapshotChores()
+	r.drainQueries()
+}
+
+// pullStream ingests one topology event; it returns false when no event is
+// available right now (live stream empty) or ever again (exhausted).
+// Live streams are polled without blocking so the rank keeps serving
+// algorithmic events, queries, and snapshot duties while its source is
+// quiet (§VI-A's real-time properties).
+func (r *rank) pullStream() bool {
+	if r.streamDone {
+		return false
+	}
+	var ev graph.EdgeEvent
+	if live, isLive := r.stream.(stream.Live); isLive {
+		var ok, closed bool
+		ev, ok, closed = live.TryNext()
+		if !ok {
+			if closed {
+				r.streamDone = true
+				r.eng.streamsLeft.Add(-1)
+			}
+			return false
+		}
+	} else {
+		var ok bool
+		ev, ok = r.stream.Next()
+		if !ok {
+			r.streamDone = true
+			r.eng.streamsLeft.Add(-1)
+			return false
+		}
+	}
+	kind := KindAdd
+	if ev.Delete {
+		kind = KindDelete
+	}
+	// Route to the owner of the edge source (§III-C: the directed edge is
+	// co-located with its source vertex). The event is labeled with the
+	// current snapshot sequence via the same guarded loop as external
+	// emissions.
+	out := Event{Kind: kind, Algo: NoAlgo, To: ev.Src, From: ev.Dst, W: ev.W}
+	for {
+		s := r.eng.snapSeq.Load()
+		r.eng.inflight[s&3].Add(1)
+		if r.eng.snapSeq.Load() == s {
+			out.Seq = s
+			break
+		}
+		r.eng.inflight[s&3].Add(-1)
+	}
+	r.send(out)
+	// Counted only after the in-flight increment: once Ingested() reports
+	// n, all n events are either in flight or fully processed, so
+	// Ingested()==pushed && Quiescent() is a sound "drained" check.
+	r.eng.ingested.Add(1)
+	return true
+}
+
+// emit routes a callback-generated event; the child inherits its parent's
+// snapshot sequence (§III-D), which the caller already set. The in-flight
+// increment happens before the parent's (batched) decrement, so the ring
+// counter cannot falsely reach zero.
+func (r *rank) emit(ev Event) {
+	r.eng.inflight[ev.Seq&3].Add(1)
+	r.send(ev)
+}
+
+func (r *rank) send(ev Event) {
+	dest := r.eng.part.Owner(ev.To)
+	r.out[dest] = append(r.out[dest], ev)
+	if len(r.out[dest]) >= r.eng.opts.BatchSize {
+		r.flush(dest)
+	}
+}
+
+func (r *rank) flush(dest int) {
+	if len(r.out[dest]) == 0 {
+		return
+	}
+	r.eng.ranks[dest].inbox.push(r.out[dest])
+	r.out[dest] = r.out[dest][:0]
+}
+
+func (r *rank) flushAll() {
+	for dest := range r.out {
+		r.flush(dest)
+	}
+}
+
+func (r *rank) applyDecrements() {
+	for i := range r.pendingDec {
+		if n := r.pendingDec[i]; n != 0 {
+			r.pendingDec[i] = 0
+			if r.eng.inflight[i].Add(-n) == 0 {
+				// A version may just have drained: snapshots and parked
+				// ranks need to know.
+				if snap := r.eng.activeSnap.Load(); snap != nil && uint32(i) == (snap.marker-1)&3 {
+					r.eng.wakeAll()
+				} else if r.eng.streamsLeft.Load() == 0 {
+					r.eng.wakeAll()
+				}
+			}
+		}
+	}
+}
+
+// growValues extends every state array to cover a newly created slot.
+func (r *rank) growValues(slot graph.Slot) {
+	for a := range r.values {
+		for len(r.values[a]) <= int(slot) {
+			r.values[a] = append(r.values[a], Unset)
+		}
+	}
+}
+
+// setPrevValue writes previous-version state, growing the array for
+// vertices created by old-version events after the local copy was taken.
+func (r *rank) setPrevValue(algo uint8, slot graph.Slot, v uint64) {
+	for len(r.prevValues[algo]) <= int(slot) {
+		r.prevValues[algo] = append(r.prevValues[algo], Unset)
+	}
+	r.prevValues[algo][slot] = v
+}
+
+// process dispatches one event. The in-flight decrement is batched in
+// pendingDec and applied by the caller after the whole batch.
+func (r *rank) process(ev *Event) {
+	r.processed++
+	if r.eng.activeSnap.Load() != nil {
+		// Must copy the previous-version state before applying any event
+		// once a snapshot is active (old events would double-apply via
+		// the copy; new events must not leak into it).
+		r.ensureSnapBegun()
+	}
+	switch ev.Kind {
+	case KindAdd:
+		r.topoEvents++
+		r.handleAdd(ev)
+	case KindReverseAdd:
+		r.algoEvents++
+		r.handleReverseAdd(ev)
+	case KindUpdate:
+		r.algoEvents++
+		r.handleUpdate(ev)
+	case KindInit:
+		r.algoEvents++
+		r.handleInit(ev)
+	case KindDelete:
+		r.topoEvents++
+		r.handleDelete(ev)
+	case KindReverseDelete:
+		r.algoEvents++
+		r.handleReverseDelete(ev)
+	case KindSignal:
+		r.algoEvents++
+		r.handleSignal(ev)
+	}
+	r.pendingDec[ev.Seq&3]++
+}
+
+// dualRun reports whether the event belongs to the previous version of an
+// active snapshot for program algo, in which case its callback must also
+// run against the previous-version view (§III-D: "both S_prev and S_new
+// apply the state modifier").
+func (r *rank) dualRun(seq uint32, algo uint8) bool {
+	snap := r.eng.activeSnap.Load()
+	return snap != nil && seq < snap.marker && int(algo) == snap.Algo
+}
+
+func (r *rank) ctx(algo uint8, slot graph.Slot, id graph.VertexID, seq uint32, v view) Ctx {
+	return Ctx{r: r, algo: algo, slot: slot, id: id, seq: seq, view: v}
+}
+
+func (r *rank) handleAdd(ev *Event) {
+	slot, created, _ := r.store.AddEdge(ev.To, ev.From, ev.W, ev.Seq)
+	if created {
+		r.growValues(slot)
+	}
+	for a := range r.eng.programs {
+		ctx := r.ctx(uint8(a), slot, ev.To, ev.Seq, viewLive)
+		r.eng.programs[a].OnAdd(&ctx, ev.From, ev.W)
+		if r.dualRun(ev.Seq, uint8(a)) {
+			pctx := r.ctx(uint8(a), slot, ev.To, ev.Seq, viewPrev)
+			r.eng.programs[a].OnAdd(&pctx, ev.From, ev.W)
+		}
+	}
+	if r.eng.opts.Undirected {
+		// Serialize undirected edge creation through the FIFO channel to
+		// the destination's owner (§III-C): the reverse edge exists
+		// before any later event can traverse it. One reverse-add per
+		// program carries that program's source-vertex value (Algorithm 3
+		// queues this.value); with no programs a topology-only
+		// notification is sent.
+		if len(r.eng.programs) == 0 {
+			r.emit(Event{Kind: KindReverseAdd, Algo: NoAlgo, Seq: ev.Seq,
+				To: ev.From, From: ev.To, W: ev.W})
+		}
+		for a := range r.eng.programs {
+			r.emit(Event{Kind: KindReverseAdd, Algo: uint8(a), Seq: ev.Seq,
+				To: ev.From, From: ev.To, Val: r.values[a][slot], W: ev.W})
+		}
+	}
+}
+
+func (r *rank) handleReverseAdd(ev *Event) {
+	slot, created, _ := r.store.AddEdge(ev.To, ev.From, ev.W, ev.Seq)
+	if created {
+		r.growValues(slot)
+	}
+	if ev.Algo == NoAlgo {
+		return
+	}
+	p := r.eng.programs[ev.Algo]
+	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
+	p.OnReverseAdd(&ctx, ev.From, ev.Val, ev.W)
+	if r.dualRun(ev.Seq, ev.Algo) {
+		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
+		p.OnReverseAdd(&pctx, ev.From, ev.Val, ev.W)
+	}
+}
+
+func (r *rank) handleUpdate(ev *Event) {
+	slot, ok := r.store.SlotOf(ev.To)
+	if !ok {
+		// Directed mode: the destination vertex materializes lazily when
+		// the first value reaches it.
+		slot, _ = r.store.EnsureVertex(ev.To)
+		r.growValues(slot)
+	}
+	p := r.eng.programs[ev.Algo]
+	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
+	p.OnUpdate(&ctx, ev.From, ev.Val, ev.W)
+	if r.dualRun(ev.Seq, ev.Algo) {
+		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
+		p.OnUpdate(&pctx, ev.From, ev.Val, ev.W)
+	}
+}
+
+func (r *rank) handleInit(ev *Event) {
+	slot, created := r.store.EnsureVertex(ev.To)
+	if created {
+		r.growValues(slot)
+	}
+	p := r.eng.programs[ev.Algo]
+	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
+	p.Init(&ctx)
+	if r.dualRun(ev.Seq, ev.Algo) {
+		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
+		p.Init(&pctx)
+	}
+}
+
+func (r *rank) handleDelete(ev *Event) {
+	removed := r.store.DeleteEdge(ev.To, ev.From)
+	if !removed {
+		return
+	}
+	slot, _ := r.store.SlotOf(ev.To)
+	for a, p := range r.eng.programs {
+		da, ok := p.(DeleteAware)
+		if !ok {
+			continue
+		}
+		ctx := r.ctx(uint8(a), slot, ev.To, ev.Seq, viewLive)
+		da.OnDelete(&ctx, ev.From, ev.W)
+	}
+	if r.eng.opts.Undirected {
+		if len(r.eng.programs) == 0 {
+			r.emit(Event{Kind: KindReverseDelete, Algo: NoAlgo, Seq: ev.Seq,
+				To: ev.From, From: ev.To, W: ev.W})
+		}
+		for a := range r.eng.programs {
+			r.emit(Event{Kind: KindReverseDelete, Algo: uint8(a), Seq: ev.Seq,
+				To: ev.From, From: ev.To, Val: r.values[a][slot], W: ev.W})
+		}
+	}
+}
+
+func (r *rank) handleReverseDelete(ev *Event) {
+	removed := r.store.DeleteEdge(ev.To, ev.From)
+	if !removed || ev.Algo == NoAlgo {
+		return
+	}
+	slot, ok := r.store.SlotOf(ev.To)
+	if !ok {
+		return
+	}
+	if da, isDA := r.eng.programs[ev.Algo].(DeleteAware); isDA {
+		ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
+		da.OnReverseDelete(&ctx, ev.From, ev.Val, ev.W)
+	}
+}
+
+func (r *rank) handleSignal(ev *Event) {
+	sa, ok := r.eng.programs[ev.Algo].(SignalAware)
+	if !ok {
+		return
+	}
+	slot, created := r.store.EnsureVertex(ev.To)
+	if created {
+		r.growValues(slot)
+	}
+	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
+	sa.OnSignal(&ctx, ev.Val)
+	if r.dualRun(ev.Seq, ev.Algo) {
+		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
+		sa.OnSignal(&pctx, ev.Val)
+	}
+}
+
+func (r *rank) pushQuery(q queryReq) {
+	r.qmu.Lock()
+	r.queries = append(r.queries, q)
+	r.qmu.Unlock()
+	r.inbox.poke()
+}
+
+// drainQueries serves pending local-state observations between events —
+// "any vertices' local state can be observed in constant time" (§VI-A).
+func (r *rank) drainQueries() {
+	r.qmu.Lock()
+	qs := r.queries
+	r.queries = nil
+	r.qmu.Unlock()
+	for _, q := range qs {
+		res := QueryResult{}
+		if slot, ok := r.store.SlotOf(q.v); ok {
+			res.Exists = true
+			if vals := r.values[q.algo]; int(slot) < len(vals) {
+				res.Value = vals[slot]
+			}
+		}
+		q.reply <- res
+	}
+}
+
+// checkTriggers evaluates registered triggers against a fresh local-state
+// value (§III-E). Monotonicity ensures no false positives; the fired
+// bitmap ensures each trigger fires at most once per vertex.
+func (r *rank) checkTriggers(algo uint8, slot graph.Slot, id graph.VertexID, v uint64) {
+	for ti := range r.eng.triggers {
+		t := &r.eng.triggers[ti]
+		if t.algo != algo || !t.pred(id, v) {
+			continue
+		}
+		word, bit := int(slot)/64, uint(slot)%64
+		for len(r.firedBits) <= ti {
+			r.firedBits = append(r.firedBits, nil)
+		}
+		for len(r.firedBits[ti]) <= word {
+			r.firedBits[ti] = append(r.firedBits[ti], 0)
+		}
+		if r.firedBits[ti][word]&(1<<bit) != 0 {
+			continue
+		}
+		r.firedBits[ti][word] |= 1 << bit
+		t.action(id, v)
+	}
+}

@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/csr"
+	"incregraph/internal/gen"
+	"incregraph/internal/graph"
+	"incregraph/internal/rmat"
+	"incregraph/internal/static"
+	"incregraph/internal/stream"
+)
+
+// TestSoakRandomizedMatrix is the heavy randomized sweep: a grid of
+// workloads x algorithms x rank counts x batch sizes, every cell verified
+// against its static baseline. Skipped under -short.
+func TestSoakRandomizedMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(99))
+	workloads := []struct {
+		name  string
+		edges []graph.Edge
+	}{
+		{"rmat", rmat.Generate(rmat.Config{Scale: 11, EdgeFactor: 8, Seed: 5, MaxWeight: 20})},
+		{"pa", gen.PreferentialAttachment(2000, 6, 20, 6)},
+		{"er-sparse", gen.ErdosRenyi(3000, 2500, 20, 7)},
+		{"er-dense", gen.ErdosRenyi(500, 8000, 20, 8)},
+		{"forum", gen.Forum(500, 2000, 8000, 9)},
+	}
+	for _, w := range workloads {
+		g := csr.Build(w.edges, true)
+		gMin := csr.Build(dedupMinWeight(w.edges), true)
+		src := graph.VertexID(w.edges[0].Src)
+		wantBFS := static.BFS(g, src)
+		wantSSSP := static.Dijkstra(gMin, src)
+		wantCC := static.ConnectedComponents(g)
+
+		for trial := 0; trial < 3; trial++ {
+			ranks := []int{1, 2, 3, 5, 8}[rng.Intn(5)]
+			batch := []int{1, 32, 256, 1024}[rng.Intn(4)]
+			shuffled := gen.Shuffle(w.edges, rng.Int63())
+
+			e := core.New(core.Options{Ranks: ranks, Undirected: true, BatchSize: batch},
+				algo.BFS{}, algo.SSSP{}, algo.CC{})
+			e.InitVertex(0, src)
+			e.InitVertex(1, src)
+			if _, err := e.Run(stream.Split(shuffled, ranks)); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range e.Collect(0) {
+				if p.Val != wantBFS[p.ID] {
+					t.Fatalf("%s ranks=%d batch=%d: BFS vertex %d = %d want %d",
+						w.name, ranks, batch, p.ID, p.Val, wantBFS[p.ID])
+				}
+			}
+			for _, p := range e.Collect(1) {
+				if p.Val != wantSSSP[p.ID] {
+					t.Fatalf("%s ranks=%d batch=%d: SSSP vertex %d = %d want %d",
+						w.name, ranks, batch, p.ID, p.Val, wantSSSP[p.ID])
+				}
+			}
+			for _, p := range e.Collect(2) {
+				if p.Val != wantCC[p.ID] {
+					t.Fatalf("%s ranks=%d batch=%d: CC vertex %d = %d want %d",
+						w.name, ranks, batch, p.ID, p.Val, wantCC[p.ID])
+				}
+			}
+		}
+	}
+}
+
+// TestSoakSnapshotStorm interleaves continuous snapshot requests with
+// ingestion and verifies every quiescent-cut snapshot exactly.
+func TestSoakSnapshotStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	edges := gen.Shuffle(rmat.Generate(rmat.Config{Scale: 11, EdgeFactor: 8, Seed: 13}), 3)
+	live := stream.NewChan()
+	e := core.New(core.Options{Ranks: 4, Undirected: true}, algo.CC{})
+	if err := e.Start([]stream.Stream{live}); err != nil {
+		t.Fatal(err)
+	}
+	const cuts = 8
+	chunk := len(edges) / cuts
+	for i := 0; i < cuts; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if i == cuts-1 {
+			hi = len(edges)
+		}
+		for _, ed := range edges[lo:hi] {
+			live.Push(graph.EdgeEvent{Edge: ed})
+		}
+		waitDrained(t, e, uint64(hi))
+		snap := e.SnapshotAsync(0)
+		got := snap.Wait()
+		want := static.ConnectedComponents(csr.Build(edges[:hi], true))
+		for _, p := range got {
+			if want[p.ID] != p.Val {
+				t.Fatalf("cut %d vertex %d: %d want %d", i, p.ID, p.Val, want[p.ID])
+			}
+		}
+	}
+	live.Close()
+	e.Wait()
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"incregraph/internal/graph"
+)
+
+// TopoView adapts the engine's (paused or terminated) dynamic graph to the
+// static.Topology interface, enabling the paper's claim that "any known
+// static graph algorithm could be applied on the dynamic graph whose
+// evolution is paused or concluded" (§VI-A) — and the Fig. 3 measurement
+// of a static algorithm running over the dynamically-built structure.
+//
+// The view is only safe while no rank goroutine is mutating the shards:
+// before Start or after Wait.
+type TopoView struct {
+	eng   *Engine
+	maxID graph.VertexID
+	verts int
+}
+
+// Topology returns a read-only whole-graph view across all shards. It
+// panics if the engine is mid-run.
+func (e *Engine) Topology() *TopoView {
+	if e.started.Load() && !e.finished.Load() {
+		panic("core: Topology view requires a paused or terminated engine")
+	}
+	t := &TopoView{eng: e}
+	for _, r := range e.ranks {
+		t.verts += r.store.NumVertices()
+		r.store.ForEachVertex(func(_ graph.Slot, id graph.VertexID) bool {
+			if id > t.maxID {
+				t.maxID = id
+			}
+			return true
+		})
+	}
+	return t
+}
+
+// NumVertices implements static.Topology.
+func (t *TopoView) NumVertices() int { return t.verts }
+
+// MaxVertexID implements static.Topology.
+func (t *TopoView) MaxVertexID() graph.VertexID { return t.maxID }
+
+// ForEachVertex implements static.Topology, visiting shards in rank order.
+func (t *TopoView) ForEachVertex(fn func(v graph.VertexID) bool) {
+	for _, r := range t.eng.ranks {
+		stop := false
+		r.store.ForEachVertex(func(_ graph.Slot, id graph.VertexID) bool {
+			if !fn(id) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Neighbors implements static.Topology by delegating to the owning shard.
+func (t *TopoView) Neighbors(v graph.VertexID, fn func(nbr graph.VertexID, w graph.Weight) bool) {
+	r := t.eng.ranks[t.eng.part.Owner(v)]
+	slot, ok := r.store.SlotOf(v)
+	if !ok {
+		return
+	}
+	r.store.Neighbors(slot, fn)
+}
+
+// NumEdges returns the total directed adjacency entries across shards.
+func (t *TopoView) NumEdges() uint64 {
+	var e uint64
+	for _, r := range t.eng.ranks {
+		e += r.store.NumEdges()
+	}
+	return e
+}

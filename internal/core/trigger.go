@@ -1,0 +1,44 @@
+package core
+
+import "incregraph/internal/graph"
+
+// trigger is a registered "When" query (§III-E): a predicate over a
+// vertex's local state for one program, and the user-defined callback to
+// fire when it first holds.
+type trigger struct {
+	algo   uint8
+	pred   func(v graph.VertexID, val uint64) bool
+	action func(v graph.VertexID, val uint64)
+}
+
+// When registers a dynamic query: the moment any vertex's local state for
+// program algo satisfies pred, action fires — the paper's "When" in graph
+// processing (§III-E). For REMO algorithms whose observed state is the
+// monotone one, the paper's two guarantees hold: no false positives (the
+// condition, once true, stays true in an add-only world) and exactly one
+// firing per vertex.
+//
+// action runs on the rank goroutine that owns the vertex, between events:
+// it must be fast and must not call back into the engine. If it needs to
+// do real work, hand off to a channel.
+//
+// When must be called before Start.
+func (e *Engine) When(algo int, pred func(v graph.VertexID, val uint64) bool, action func(v graph.VertexID, val uint64)) {
+	e.checkAlgo(algo)
+	if e.started.Load() {
+		panic("core: When must be called before Start")
+	}
+	if pred == nil || action == nil {
+		panic("core: When requires non-nil pred and action")
+	}
+	e.triggers = append(e.triggers, trigger{algo: uint8(algo), pred: pred, action: action})
+}
+
+// WhenVertex registers a "When" query scoped to a single vertex, e.g.
+// "When is vertex A connected to vertex B?" — fire when vertex A's local
+// state satisfies pred.
+func (e *Engine) WhenVertex(algo int, v graph.VertexID, pred func(val uint64) bool, action func(val uint64)) {
+	e.When(algo,
+		func(id graph.VertexID, val uint64) bool { return id == v && pred(val) },
+		func(_ graph.VertexID, val uint64) { action(val) })
+}

@@ -1,0 +1,136 @@
+// Package csr implements the static Compressed Sparse Row graph — the
+// paper's baseline representation (§V-B). Static construction "knows a
+// priori the degree of a vertex" and compresses the topology into dense
+// offset/target arrays, which is exactly the locality advantage (and the
+// inflexibility) the paper contrasts against the dynamic store.
+package csr
+
+import (
+	"fmt"
+
+	"incregraph/internal/graph"
+)
+
+// Graph is an immutable CSR graph over the dense vertex ID space
+// [0, NumVertices). Multi-edges are preserved (a raw event stream may carry
+// duplicates; static baselines tolerate them just as the dynamic engine
+// does).
+type Graph struct {
+	offsets []uint64         // len NumVertices+1
+	targets []graph.VertexID // len NumEdges
+	weights []graph.Weight   // len NumEdges
+}
+
+// Build constructs a CSR graph from an edge list. If undirected is set,
+// each edge also contributes its reverse (the paper's "graphs are made
+// undirected with reverse edges where needed", Table I). The vertex space
+// is [0, maxID+1].
+func Build(edges []graph.Edge, undirected bool) *Graph {
+	var maxID graph.VertexID
+	for _, e := range edges {
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+	}
+	n := uint64(0)
+	if len(edges) > 0 {
+		n = uint64(maxID) + 1
+	}
+	m := uint64(len(edges))
+	if undirected {
+		m *= 2
+	}
+
+	g := &Graph{
+		offsets: make([]uint64, n+1),
+		targets: make([]graph.VertexID, m),
+		weights: make([]graph.Weight, m),
+	}
+	// Counting sort by source: first pass counts degrees...
+	for _, e := range edges {
+		g.offsets[e.Src+1]++
+		if undirected {
+			g.offsets[e.Dst+1]++
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		g.offsets[i] += g.offsets[i-1]
+	}
+	// ...second pass scatters, using a moving cursor per vertex.
+	cursor := make([]uint64, n)
+	for _, e := range edges {
+		pos := g.offsets[e.Src] + cursor[e.Src]
+		cursor[e.Src]++
+		g.targets[pos] = e.Dst
+		g.weights[pos] = e.W
+		if undirected {
+			pos = g.offsets[e.Dst] + cursor[e.Dst]
+			cursor[e.Dst]++
+			g.targets[pos] = e.Src
+			g.weights[pos] = e.W
+		}
+	}
+	return g
+}
+
+// NumVertices returns the size of the dense vertex ID space.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of directed adjacency entries.
+func (g *Graph) NumEdges() uint64 { return uint64(len(g.targets)) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v graph.VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors calls fn for each out-neighbour of v; stops early on false.
+func (g *Graph) Neighbors(v graph.VertexID, fn func(nbr graph.VertexID, w graph.Weight) bool) {
+	for i := g.offsets[v]; i < g.offsets[v+1]; i++ {
+		if !fn(g.targets[i], g.weights[i]) {
+			return
+		}
+	}
+}
+
+// ForEachVertex calls fn for every vertex ID in [0, NumVertices).
+func (g *Graph) ForEachVertex(fn func(v graph.VertexID) bool) {
+	for v := 0; v < g.NumVertices(); v++ {
+		if !fn(graph.VertexID(v)) {
+			return
+		}
+	}
+}
+
+// MaxVertexID returns the largest valid vertex ID (0 for an empty graph).
+func (g *Graph) MaxVertexID() graph.VertexID {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return graph.VertexID(g.NumVertices() - 1)
+}
+
+// Validate checks structural invariants (used by tests).
+func (g *Graph) Validate() error {
+	n := uint64(g.NumVertices())
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("csr: offsets[0] = %d", g.offsets[0])
+	}
+	for i := uint64(0); i < n; i++ {
+		if g.offsets[i] > g.offsets[i+1] {
+			return fmt.Errorf("csr: offsets not monotone at %d", i)
+		}
+	}
+	if g.offsets[n] != uint64(len(g.targets)) {
+		return fmt.Errorf("csr: offsets[n]=%d != %d targets", g.offsets[n], len(g.targets))
+	}
+	for _, t := range g.targets {
+		if uint64(t) >= n {
+			return fmt.Errorf("csr: target %d out of range", t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package csr
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"incregraph/internal/gen"
+	"incregraph/internal/graph"
+)
+
+func nbrsOf(g *Graph, v graph.VertexID) []graph.VertexID {
+	var out []graph.VertexID
+	g.Neighbors(v, func(n graph.VertexID, _ graph.Weight) bool {
+		out = append(out, n)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestBuildDirected(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, W: 5},
+		{Src: 0, Dst: 2, W: 3},
+		{Src: 2, Dst: 1, W: 1},
+	}
+	g := Build(edges, false)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if got := nbrsOf(g, 0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("nbrs(0) = %v", got)
+	}
+	if g.Degree(1) != 0 || g.Degree(2) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	// Weight carried through.
+	found := false
+	g.Neighbors(0, func(n graph.VertexID, w graph.Weight) bool {
+		if n == 1 && w == 5 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("weight lost")
+	}
+}
+
+func TestBuildUndirected(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1, W: 2}}
+	g := Build(edges, true)
+	if g.NumEdges() != 2 {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+	if got := nbrsOf(g, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("nbrs(1) = %v", got)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g := Build(nil, false)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxVertexID() != 0 {
+		t.Fatal("MaxVertexID of empty graph should be 0")
+	}
+}
+
+func TestMultiEdgesPreserved(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1, W: 1}, {Src: 0, Dst: 1, W: 7}}
+	g := Build(edges, false)
+	if g.Degree(0) != 2 {
+		t.Fatalf("degree = %d, want multi-edges preserved", g.Degree(0))
+	}
+}
+
+func TestForEachVertexEarlyStop(t *testing.T) {
+	g := Build(gen.Path(10), false)
+	count := 0
+	g.ForEachVertex(func(graph.VertexID) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+// Property: CSR preserves the exact multiset of edges.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(pairs []struct{ S, D uint8 }) bool {
+		edges := make([]graph.Edge, len(pairs))
+		for i, p := range pairs {
+			edges[i] = graph.Edge{Src: graph.VertexID(p.S), Dst: graph.VertexID(p.D), W: 1}
+		}
+		g := Build(edges, false)
+		if g.Validate() != nil {
+			return false
+		}
+		want := map[[2]uint64]int{}
+		for _, e := range edges {
+			want[[2]uint64{uint64(e.Src), uint64(e.Dst)}]++
+		}
+		got := map[[2]uint64]int{}
+		g.ForEachVertex(func(v graph.VertexID) bool {
+			g.Neighbors(v, func(n graph.VertexID, _ graph.Weight) bool {
+				got[[2]uint64{uint64(v), uint64(n)}]++
+				return true
+			})
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	edges := gen.ErdosRenyi(1<<16, 1<<20, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(edges, true)
+	}
+}

@@ -1,0 +1,254 @@
+// Package gen provides workload generators beyond R-MAT: the synthetic
+// stand-ins for the paper's real-world datasets (Table I) and the
+// domain workloads its introduction motivates — social networks,
+// append-only discussion forums (Reddit-like bipartite user/post graphs),
+// financial transaction networks, and web crawls.
+//
+// The paper's real datasets (Friendster, Twitter, SK2005, the 257-billion-
+// edge Webgraph) are multi-terabyte and cannot be shipped; per the
+// reproduction's substitution rule each is replaced by a generator of the
+// same structure class (power-law degree distribution, comparable average
+// degree), at configurable laptop scale. The paper observes that event rate
+// tracks graph structure rather than size, so structure-class fidelity is
+// what matters for the shape of Figs 5-7.
+//
+// All generators are deterministic given their seed.
+package gen
+
+import (
+	"math/rand"
+
+	"incregraph/internal/graph"
+)
+
+// PreferentialAttachment generates a scale-free directed graph with n
+// vertices, each new vertex attaching `outDeg` edges to earlier vertices
+// chosen preferentially by degree (Barabási–Albert flavoured, implemented
+// with the standard repeated-endpoint trick). Vertex 0..outDeg form a seed
+// clique. Weights are uniform in [1,maxWeight] (1 if maxWeight<=1).
+func PreferentialAttachment(n, outDeg int, maxWeight uint32, seed int64) []graph.Edge {
+	if n < 2 {
+		return nil
+	}
+	if outDeg < 1 {
+		outDeg = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, n*outDeg)
+	// endpoints holds one entry per half-edge; sampling uniformly from it
+	// samples vertices proportionally to their degree.
+	endpoints := make([]graph.VertexID, 0, 2*n*outDeg)
+
+	addEdge := func(src, dst graph.VertexID) {
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, W: weight(rng, maxWeight)})
+		endpoints = append(endpoints, src, dst)
+	}
+
+	seedSize := outDeg + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for i := 1; i < seedSize; i++ {
+		addEdge(graph.VertexID(i), graph.VertexID(i-1))
+	}
+	for v := seedSize; v < n; v++ {
+		// Sample only endpoints present before v arrived, so v never
+		// attaches to itself.
+		limit := len(endpoints)
+		for k := 0; k < outDeg; k++ {
+			target := endpoints[rng.Intn(limit)]
+			addEdge(graph.VertexID(v), target)
+		}
+	}
+	return edges
+}
+
+// Forum generates an append-only bipartite user/post interaction graph, the
+// paper's Reddit example (§I): users are vertices [0,users), posts are
+// vertices [users, users+posts). Posts are created over time; each event is
+// a user interacting with (commenting on, voting on) a recent post, with
+// both post popularity and user activity skewed. The stream is inherently
+// incremental-only: interactions are never deleted.
+func Forum(users, posts, events int, seed int64) []graph.Edge {
+	if users < 1 || posts < 1 || events < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, events)
+	for i := 0; i < events; i++ {
+		// Posts appear gradually: event i may only touch posts created so
+		// far (a prefix growing linearly with time).
+		livePosts := 1 + (i*posts)/events
+		// Zipf-ish skew via squaring a uniform: low-index users/posts are hot.
+		u := rng.Float64()
+		user := graph.VertexID(int(u * u * float64(users)))
+		p := rng.Float64()
+		// Recent posts are hotter: bias toward the *end* of the live prefix.
+		post := livePosts - 1 - int(p*p*float64(livePosts))
+		if post < 0 {
+			post = 0
+		}
+		edges = append(edges, graph.Edge{
+			Src: user,
+			Dst: graph.VertexID(users + post),
+			W:   1,
+		})
+	}
+	return edges
+}
+
+// Transactions generates a financial payment network, the paper's
+// Bitcoin/Visa example (§I): directed weighted edges account->account.
+// A small fraction of accounts are "hubs" (exchanges, merchants) that
+// receive a large share of payments. Past payments are never deleted:
+// refunds are fresh reverse payments (per §I), which this generator emits
+// with probability refundProb.
+func Transactions(accounts, txns int, refundProb float64, seed int64) []graph.Edge {
+	if accounts < 2 || txns < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hubs := accounts / 50
+	if hubs < 1 {
+		hubs = 1
+	}
+	edges := make([]graph.Edge, 0, txns)
+	for len(edges) < txns {
+		src := graph.VertexID(rng.Intn(accounts))
+		var dst graph.VertexID
+		if rng.Float64() < 0.3 {
+			dst = graph.VertexID(rng.Intn(hubs)) // pay a hub
+		} else {
+			dst = graph.VertexID(rng.Intn(accounts))
+		}
+		if dst == src {
+			dst = graph.VertexID((int(src) + 1) % accounts)
+		}
+		amount := graph.Weight(rng.Intn(1000) + 1)
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, W: amount})
+		if len(edges) < txns && rng.Float64() < refundProb {
+			// Refund: a new, second payment in the reverse direction.
+			edges = append(edges, graph.Edge{Src: dst, Dst: src, W: amount})
+		}
+	}
+	return edges
+}
+
+// ErdosRenyi generates m uniformly random directed edges over n vertices
+// (G(n,m) with replacement; duplicates possible, as in a raw event stream).
+func ErdosRenyi(n, m int, maxWeight uint32, seed int64) []graph.Edge {
+	if n < 1 || m < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src: graph.VertexID(rng.Intn(n)),
+			Dst: graph.VertexID(rng.Intn(n)),
+			W:   weight(rng, maxWeight),
+		}
+	}
+	return edges
+}
+
+// Path returns the path 0-1-2-...-(n-1) as n-1 directed edges.
+func Path(n int) []graph.Edge {
+	if n < 2 {
+		return nil
+	}
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), W: 1}
+	}
+	return edges
+}
+
+// Cycle returns the n-cycle 0-1-...-(n-1)-0.
+func Cycle(n int) []graph.Edge {
+	if n < 2 {
+		return nil
+	}
+	edges := Path(n)
+	return append(edges, graph.Edge{Src: graph.VertexID(n - 1), Dst: 0, W: 1})
+}
+
+// Star returns n-1 edges from center 0 to each leaf.
+func Star(n int) []graph.Edge {
+	if n < 2 {
+		return nil
+	}
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: 0, Dst: graph.VertexID(i + 1), W: 1}
+	}
+	return edges
+}
+
+// Complete returns all n*(n-1) ordered pairs as directed edges.
+func Complete(n int) []graph.Edge {
+	if n < 2 {
+		return nil
+	}
+	edges := make([]graph.Edge, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(j), W: 1})
+			}
+		}
+	}
+	return edges
+}
+
+// Grid returns a w x h 4-neighbour grid (edges right and down), vertices
+// numbered row-major.
+func Grid(w, h int) []graph.Edge {
+	if w < 1 || h < 1 {
+		return nil
+	}
+	var edges []graph.Edge
+	id := func(x, y int) graph.VertexID { return graph.VertexID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, graph.Edge{Src: id(x, y), Dst: id(x+1, y), W: 1})
+			}
+			if y+1 < h {
+				edges = append(edges, graph.Edge{Src: id(x, y), Dst: id(x, y+1), W: 1})
+			}
+		}
+	}
+	return edges
+}
+
+// Tree returns a complete b-ary tree with n vertices: vertex i's parent is
+// (i-1)/b. Edges point parent -> child.
+func Tree(n, b int) []graph.Edge {
+	if n < 2 || b < 1 {
+		return nil
+	}
+	edges := make([]graph.Edge, n-1)
+	for i := 1; i < n; i++ {
+		edges[i-1] = graph.Edge{Src: graph.VertexID((i - 1) / b), Dst: graph.VertexID(i), W: 1}
+	}
+	return edges
+}
+
+func weight(rng *rand.Rand, maxWeight uint32) graph.Weight {
+	if maxWeight <= 1 {
+		return 1
+	}
+	return graph.Weight(rng.Int31n(int32(maxWeight))) + 1
+}
+
+// Shuffle returns a seeded random permutation of edges (the paper
+// pre-randomizes edge order before ingestion, §V-A). The input is not
+// modified.
+func Shuffle(edges []graph.Edge, seed int64) []graph.Edge {
+	out := make([]graph.Edge, len(edges))
+	copy(out, edges)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

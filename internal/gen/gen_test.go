@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"testing"
+
+	"incregraph/internal/graph"
+)
+
+func TestPreferentialAttachment(t *testing.T) {
+	edges := PreferentialAttachment(1000, 4, 1, 1)
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	deg := map[graph.VertexID]int{}
+	for _, e := range edges {
+		if uint64(e.Src) >= 1000 || uint64(e.Dst) >= 1000 {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+		if e.Dst >= e.Src && e.Src > 4 {
+			t.Fatalf("new vertex attached forward in time: %+v", e)
+		}
+		deg[e.Dst]++
+		deg[e.Src]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	mean := 2 * float64(len(edges)) / float64(len(deg))
+	if float64(max) < 5*mean {
+		t.Fatalf("max degree %d vs mean %.1f: not scale-free", max, mean)
+	}
+	// Determinism.
+	again := PreferentialAttachment(1000, 4, 1, 1)
+	for i := range edges {
+		if edges[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	if PreferentialAttachment(1, 4, 1, 1) != nil {
+		t.Fatal("n<2 should return nil")
+	}
+}
+
+func TestForum(t *testing.T) {
+	const users, posts, events = 100, 500, 10000
+	edges := Forum(users, posts, events, 2)
+	if len(edges) != events {
+		t.Fatalf("len = %d", len(edges))
+	}
+	for i, e := range edges {
+		if uint64(e.Src) >= users {
+			t.Fatalf("event %d: src %d is not a user", i, e.Src)
+		}
+		if uint64(e.Dst) < users || uint64(e.Dst) >= users+posts {
+			t.Fatalf("event %d: dst %d is not a post", i, e.Dst)
+		}
+		// Append-only time structure: a post touched at event i must
+		// already exist (be within the live prefix).
+		livePosts := 1 + (i*posts)/events
+		if int(e.Dst)-users >= livePosts {
+			t.Fatalf("event %d touches future post %d (live %d)", i, e.Dst, livePosts)
+		}
+	}
+	if Forum(0, 1, 1, 1) != nil {
+		t.Fatal("invalid params should return nil")
+	}
+}
+
+func TestTransactions(t *testing.T) {
+	edges := Transactions(500, 5000, 0.1, 3)
+	if len(edges) != 5000 {
+		t.Fatalf("len = %d", len(edges))
+	}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self-payment: %+v", e)
+		}
+		if e.W < 1 || e.W > 1000 {
+			t.Fatalf("amount %d out of range", e.W)
+		}
+		if uint64(e.Src) >= 500 || uint64(e.Dst) >= 500 {
+			t.Fatalf("account out of range: %+v", e)
+		}
+	}
+	// Hubs attract payments.
+	hubIn := 0
+	for _, e := range edges {
+		if int(e.Dst) < 500/50 {
+			hubIn++
+		}
+	}
+	if float64(hubIn)/float64(len(edges)) < 0.2 {
+		t.Fatalf("hub in-fraction %.3f too low", float64(hubIn)/float64(len(edges)))
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	edges := ErdosRenyi(100, 1000, 50, 4)
+	if len(edges) != 1000 {
+		t.Fatalf("len = %d", len(edges))
+	}
+	for _, e := range edges {
+		if uint64(e.Src) >= 100 || uint64(e.Dst) >= 100 || e.W < 1 || e.W > 50 {
+			t.Fatalf("bad edge %+v", e)
+		}
+	}
+}
+
+func TestFixedTopologies(t *testing.T) {
+	if got := Path(5); len(got) != 4 || got[0] != (graph.Edge{Src: 0, Dst: 1, W: 1}) || got[3] != (graph.Edge{Src: 3, Dst: 4, W: 1}) {
+		t.Fatalf("Path(5) = %v", got)
+	}
+	if got := Cycle(4); len(got) != 4 || got[3] != (graph.Edge{Src: 3, Dst: 0, W: 1}) {
+		t.Fatalf("Cycle(4) = %v", got)
+	}
+	if got := Star(4); len(got) != 3 || got[2] != (graph.Edge{Src: 0, Dst: 3, W: 1}) {
+		t.Fatalf("Star(4) = %v", got)
+	}
+	if got := Complete(3); len(got) != 6 {
+		t.Fatalf("Complete(3) has %d edges", len(got))
+	}
+	if got := Grid(3, 2); len(got) != 7 {
+		t.Fatalf("Grid(3,2) has %d edges, want 7", len(got))
+	}
+	if got := Tree(7, 2); len(got) != 6 || got[5] != (graph.Edge{Src: 2, Dst: 6, W: 1}) {
+		t.Fatalf("Tree(7,2) = %v", got)
+	}
+	for _, nilCase := range [][]graph.Edge{Path(1), Cycle(1), Star(1), Complete(1), Grid(0, 5), Tree(1, 2)} {
+		if nilCase != nil {
+			t.Fatalf("degenerate topology should be nil, got %v", nilCase)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	orig := Path(1000)
+	shuf := Shuffle(orig, 9)
+	if len(shuf) != len(orig) {
+		t.Fatal("length changed")
+	}
+	// Original untouched.
+	for i := range orig {
+		if orig[i].Src != graph.VertexID(i) {
+			t.Fatal("Shuffle mutated its input")
+		}
+	}
+	// Same multiset.
+	count := map[graph.Edge]int{}
+	for _, e := range orig {
+		count[e]++
+	}
+	for _, e := range shuf {
+		count[e]--
+	}
+	for e, c := range count {
+		if c != 0 {
+			t.Fatalf("edge %+v count %d after shuffle", e, c)
+		}
+	}
+	// Actually permuted.
+	moved := 0
+	for i := range orig {
+		if shuf[i] != orig[i] {
+			moved++
+		}
+	}
+	if moved < len(orig)/2 {
+		t.Fatalf("only %d/%d edges moved", moved, len(orig))
+	}
+	// Deterministic.
+	again := Shuffle(orig, 9)
+	for i := range shuf {
+		if shuf[i] != again[i] {
+			t.Fatal("Shuffle not deterministic")
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package graph
+
+import "incregraph/internal/rhh"
+
+// CCLabel is the component label a vertex initially assumes in connected-
+// components analysis: a hash of its ID (Algorithm 6 of the paper labels
+// vertices with hash(ID)), biased away from zero so it can never collide
+// with the "unset" sentinel. Both the dynamic CC program and the static
+// baseline use this function, so their results compare bit-for-bit.
+func CCLabel(v VertexID) uint64 {
+	h := rhh.Hash64(uint64(v))
+	if h == 0 {
+		return 1
+	}
+	return h
+}

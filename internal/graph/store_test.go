@@ -1,0 +1,400 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnsureVertex(t *testing.T) {
+	s := NewStore(0)
+	slot, created := s.EnsureVertex(42)
+	if !created || slot != 0 {
+		t.Fatalf("EnsureVertex(42) = %d,%v want 0,true", slot, created)
+	}
+	slot2, created2 := s.EnsureVertex(42)
+	if created2 || slot2 != slot {
+		t.Fatalf("second EnsureVertex(42) = %d,%v", slot2, created2)
+	}
+	if s.IDOf(slot) != 42 {
+		t.Fatalf("IDOf(%d) = %d", slot, s.IDOf(slot))
+	}
+	if s.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d", s.NumVertices())
+	}
+	if _, ok := s.SlotOf(7); ok {
+		t.Fatal("SlotOf(7) should miss")
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	s := NewStore(0)
+	srcSlot, srcCreated, isNew := s.AddEdge(1, 2, 5, 0)
+	if !isNew || !srcCreated {
+		t.Fatalf("first AddEdge: isNew=%v srcCreated=%v", isNew, srcCreated)
+	}
+	if s.IDOf(srcSlot) != 1 {
+		t.Fatal("slot maps to wrong ID")
+	}
+	// Only the source vertex materializes in this shard; the destination
+	// lives in its owner's shard.
+	if s.NumEdges() != 1 || s.NumVertices() != 1 {
+		t.Fatalf("E=%d V=%d", s.NumEdges(), s.NumVertices())
+	}
+	if _, ok := s.SlotOf(2); ok {
+		t.Fatal("destination vertex should not be created by AddEdge")
+	}
+	if w, ok := s.EdgeWeight(srcSlot, 2); !ok || w != 5 {
+		t.Fatalf("EdgeWeight = %d,%v", w, ok)
+	}
+	if !s.HasEdge(1, 2) || s.HasEdge(2, 1) {
+		t.Fatal("HasEdge wrong: store is directed")
+	}
+	if s.Degree(srcSlot) != 1 {
+		t.Fatal("degree wrong")
+	}
+	_, srcCreated2, _ := s.AddEdge(1, 3, 1, 0)
+	if srcCreated2 {
+		t.Fatal("existing source reported as created")
+	}
+}
+
+func TestAddEdgeDuplicateLowersWeight(t *testing.T) {
+	s := NewStore(0)
+	s.AddEdge(1, 2, 5, 0)
+	_, _, isNew := s.AddEdge(1, 2, 9, 0)
+	if isNew {
+		t.Fatal("duplicate edge reported as new")
+	}
+	slot, _ := s.SlotOf(1)
+	if w, _ := s.EdgeWeight(slot, 2); w != 5 {
+		t.Fatalf("weight raised to %d; duplicates must only lower", w)
+	}
+	s.AddEdge(1, 2, 3, 0)
+	if w, _ := s.EdgeWeight(slot, 2); w != 3 {
+		t.Fatalf("weight = %d, want lowered to 3", w)
+	}
+	if s.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d after duplicates", s.NumEdges())
+	}
+}
+
+func TestWeightPolicies(t *testing.T) {
+	cases := []struct {
+		policy  WeightPolicy
+		weights []Weight
+		want    Weight
+	}{
+		{WeightMin, []Weight{5, 9, 3, 7}, 3},
+		{WeightMax, []Weight{5, 9, 3, 7}, 9},
+		{WeightFirst, []Weight{5, 9, 3, 7}, 5},
+	}
+	for _, tc := range cases {
+		for _, smallCap := range []int{1, 64} { // both representations
+			s := NewStore(smallCap)
+			s.SetWeightPolicy(tc.policy)
+			if smallCap == 1 {
+				// Force promotion so the duplicate lands in the RHH path.
+				s.AddEdge(1, 99, 1, 0)
+			}
+			for _, w := range tc.weights {
+				s.AddEdge(1, 2, w, 0)
+			}
+			slot, _ := s.SlotOf(1)
+			if got, _ := s.EdgeWeight(slot, 2); got != tc.want {
+				t.Fatalf("policy %d smallCap %d: weight %d want %d", tc.policy, smallCap, got, tc.want)
+			}
+			// Duplicates never change the edge count.
+			wantEdges := uint64(1)
+			if smallCap == 1 {
+				wantEdges = 2 // includes the forced-promotion edge
+			}
+			if s.NumEdges() != wantEdges {
+				t.Fatalf("policy %d smallCap %d: edges %d want %d", tc.policy, smallCap, s.NumEdges(), wantEdges)
+			}
+		}
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	s := NewStore(0)
+	_, _, isNew := s.AddEdge(3, 3, 1, 0)
+	if !isNew {
+		t.Fatal("self loop rejected")
+	}
+	if s.NumVertices() != 1 || s.NumEdges() != 1 {
+		t.Fatalf("V=%d E=%d", s.NumVertices(), s.NumEdges())
+	}
+}
+
+func TestPromotion(t *testing.T) {
+	s := NewStore(4)
+	for i := VertexID(1); i <= 10; i++ {
+		s.AddEdge(0, i, Weight(i), 0)
+	}
+	if s.Promotions() != 1 {
+		t.Fatalf("promotions = %d, want 1", s.Promotions())
+	}
+	slot, _ := s.SlotOf(0)
+	if s.Degree(slot) != 10 {
+		t.Fatalf("degree = %d", s.Degree(slot))
+	}
+	// All edges survive promotion, with weights intact.
+	for i := VertexID(1); i <= 10; i++ {
+		w, ok := s.EdgeWeight(slot, i)
+		if !ok || w != Weight(i) {
+			t.Fatalf("EdgeWeight(0,%d) = %d,%v after promotion", i, w, ok)
+		}
+	}
+	// Duplicate handling still works post-promotion.
+	_, _, isNew := s.AddEdge(0, 5, 100, 0)
+	if isNew {
+		t.Fatal("duplicate after promotion reported new")
+	}
+	if w, _ := s.EdgeWeight(slot, 5); w != 5 {
+		t.Fatalf("post-promotion duplicate changed weight to %d", w)
+	}
+}
+
+func TestNeighborsSmallAndLarge(t *testing.T) {
+	for _, smallCap := range []int{2, 64} {
+		s := NewStore(smallCap)
+		want := map[VertexID]Weight{}
+		for i := VertexID(1); i <= 20; i++ {
+			s.AddEdge(0, i, Weight(i*2), 0)
+			want[i] = Weight(i * 2)
+		}
+		slot, _ := s.SlotOf(0)
+		got := map[VertexID]Weight{}
+		s.Neighbors(slot, func(nbr VertexID, w Weight) bool {
+			got[nbr] = w
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("smallCap=%d: %d neighbours, want %d", smallCap, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("smallCap=%d: nbr %d weight %d want %d", smallCap, k, got[k], v)
+			}
+		}
+		// Early stop.
+		n := 0
+		s.Neighbors(slot, func(VertexID, Weight) bool { n++; return false })
+		if n != 1 {
+			t.Fatalf("early stop visited %d", n)
+		}
+	}
+}
+
+func TestNeighborsBefore(t *testing.T) {
+	for _, smallCap := range []int{2, 64} {
+		s := NewStore(smallCap)
+		for i := VertexID(1); i <= 5; i++ {
+			s.AddEdge(0, i, 1, 0) // epoch 0
+		}
+		for i := VertexID(6); i <= 12; i++ {
+			s.AddEdge(0, i, 1, 1) // epoch 1
+		}
+		slot, _ := s.SlotOf(0)
+		var old []VertexID
+		s.NeighborsBefore(slot, 1, func(nbr VertexID, _ Weight) bool {
+			old = append(old, nbr)
+			return true
+		})
+		sort.Slice(old, func(i, j int) bool { return old[i] < old[j] })
+		if len(old) != 5 {
+			t.Fatalf("smallCap=%d: NeighborsBefore saw %d edges, want 5", smallCap, len(old))
+		}
+		for i, v := range old {
+			if v != VertexID(i+1) {
+				t.Fatalf("smallCap=%d: old edge set %v", smallCap, old)
+			}
+		}
+		// seq 2 sees everything.
+		count := 0
+		s.NeighborsBefore(slot, 2, func(VertexID, Weight) bool { count++; return true })
+		if count != 12 {
+			t.Fatalf("NeighborsBefore(2) = %d edges, want 12", count)
+		}
+	}
+}
+
+func TestDeleteEdge(t *testing.T) {
+	for _, smallCap := range []int{2, 64} {
+		s := NewStore(smallCap)
+		for i := VertexID(1); i <= 8; i++ {
+			s.AddEdge(0, i, 1, 0)
+		}
+		if !s.DeleteEdge(0, 4) {
+			t.Fatal("DeleteEdge(0,4) failed")
+		}
+		if s.DeleteEdge(0, 4) {
+			t.Fatal("double delete succeeded")
+		}
+		if s.DeleteEdge(99, 1) {
+			t.Fatal("delete from unknown vertex succeeded")
+		}
+		if s.HasEdge(0, 4) {
+			t.Fatal("edge still present")
+		}
+		if s.NumEdges() != 7 {
+			t.Fatalf("NumEdges = %d", s.NumEdges())
+		}
+		slot, _ := s.SlotOf(0)
+		if s.Degree(slot) != 7 {
+			t.Fatalf("degree = %d", s.Degree(slot))
+		}
+	}
+}
+
+func TestForEachVertex(t *testing.T) {
+	s := NewStore(0)
+	for _, v := range []VertexID{10, 20, 30} {
+		s.EnsureVertex(v)
+	}
+	var ids []VertexID
+	s.ForEachVertex(func(slot Slot, id VertexID) bool {
+		if s.IDOf(slot) != id {
+			t.Fatalf("slot %d id mismatch", slot)
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 3 || ids[0] != 10 || ids[1] != 20 || ids[2] != 30 {
+		t.Fatalf("ForEachVertex order = %v (slot order expected)", ids)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := NewStore(2)
+	s.EnsureVertex(100) // singleton
+	for i := VertexID(1); i <= 5; i++ {
+		s.AddEdge(0, i, 1, 0)
+	}
+	st := s.ComputeStats()
+	// Only explicitly-ensured vertices and edge sources materialize:
+	// vertex 100 (singleton) and vertex 0 (degree 5, promoted past cap 2).
+	if st.Vertices != 2 || st.Edges != 5 || st.MaxDegree != 5 || st.Promoted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Singletons != 1 {
+		t.Fatalf("singletons = %d", st.Singletons)
+	}
+}
+
+// Model check: random add/delete/query sequence against map-of-maps.
+func TestStoreModelCheck(t *testing.T) {
+	s := NewStore(3) // tiny cap exercises promotions heavily
+	model := map[VertexID]map[VertexID]Weight{}
+	rng := rand.New(rand.NewSource(11))
+	var edgeCount uint64
+	for op := 0; op < 100000; op++ {
+		src := VertexID(rng.Intn(50))
+		dst := VertexID(rng.Intn(50))
+		switch rng.Intn(4) {
+		case 0, 1: // add
+			w := Weight(rng.Intn(100) + 1)
+			_, _, isNew := s.AddEdge(src, dst, w, 0)
+			if model[src] == nil {
+				model[src] = map[VertexID]Weight{}
+			}
+			old, existed := model[src][dst]
+			if isNew == existed {
+				t.Fatalf("op %d: isNew=%v existed=%v", op, isNew, existed)
+			}
+			if !existed {
+				model[src][dst] = w
+				edgeCount++
+			} else if w < old {
+				model[src][dst] = w
+			}
+		case 2: // delete
+			got := s.DeleteEdge(src, dst)
+			_, want := model[src][dst]
+			if got != want {
+				t.Fatalf("op %d: DeleteEdge = %v want %v", op, got, want)
+			}
+			if want {
+				delete(model[src], dst)
+				edgeCount--
+			}
+		case 3: // query
+			slot, ok := s.SlotOf(src)
+			if !ok {
+				if len(model[src]) != 0 {
+					t.Fatalf("op %d: vertex %d missing", op, src)
+				}
+				continue
+			}
+			w, ok := s.EdgeWeight(slot, dst)
+			want, wok := model[src][dst]
+			if ok != wok || (ok && w != want) {
+				t.Fatalf("op %d: weight(%d,%d) = %d,%v want %d,%v", op, src, dst, w, ok, want, wok)
+			}
+		}
+		if s.NumEdges() != edgeCount {
+			t.Fatalf("op %d: NumEdges = %d want %d", op, s.NumEdges(), edgeCount)
+		}
+	}
+}
+
+// Property: any batch of edges is fully retrievable via Neighbors.
+func TestQuickNeighborsComplete(t *testing.T) {
+	f := func(pairs []struct{ S, D uint8 }) bool {
+		s := NewStore(4)
+		model := map[VertexID]map[VertexID]bool{}
+		for _, p := range pairs {
+			src, dst := VertexID(p.S), VertexID(p.D)
+			s.AddEdge(src, dst, 1, 0)
+			if model[src] == nil {
+				model[src] = map[VertexID]bool{}
+			}
+			model[src][dst] = true
+		}
+		for src, nbrs := range model {
+			slot, ok := s.SlotOf(src)
+			if !ok {
+				return false
+			}
+			seen := map[VertexID]bool{}
+			s.Neighbors(slot, func(n VertexID, _ Weight) bool {
+				seen[n] = true
+				return true
+			})
+			if len(seen) != len(nbrs) {
+				return false
+			}
+			for n := range nbrs {
+				if !seen[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddEdgeSequential(b *testing.B) {
+	s := NewStore(0)
+	for i := 0; i < b.N; i++ {
+		s.AddEdge(VertexID(i%100000), VertexID((i*7)%100000), 1, 0)
+	}
+}
+
+func BenchmarkNeighborsHighDegree(b *testing.B) {
+	s := NewStore(0)
+	for i := VertexID(1); i <= 10000; i++ {
+		s.AddEdge(0, i, 1, 0)
+	}
+	slot, _ := s.SlotOf(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt := 0
+		s.Neighbors(slot, func(VertexID, Weight) bool { cnt++; return true })
+	}
+}

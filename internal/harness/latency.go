@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/gen"
+	"incregraph/internal/graph"
+	"incregraph/internal/metrics"
+	"incregraph/internal/stream"
+)
+
+// Latency quantifies the paper's §VI-A real-time claim: "while the latency
+// for snapshot systems offering a response is the entire time between
+// snapshots, the continuous solution ... offers consistent, minimal
+// latency."
+//
+// The experiment grows a path away from an S-T connectivity source under a
+// rate-limited offered load (below saturation, per §V-A: "any offered load
+// lower than the reported maximum performance can be handled in
+// real-time"). Every Kth vertex carries a "When connected to the source"
+// trigger; the sample is the time from pushing the edge that completes the
+// vertex's connectivity to the trigger callback firing. For a batching
+// system the same reaction waits for the next batch boundary — up to a
+// full batch period — shown alongside for contrast.
+func Latency(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	n := 20000
+	if cfg.Quick {
+		n = 2000
+	}
+	const sampleEvery = 100
+	edges := gen.Path(n)
+
+	st := algo.NewMultiST([]graph.VertexID{0})
+	e := core.New(core.Options{Ranks: ranks, Undirected: true}, st)
+
+	var mu sync.Mutex
+	pushTimes := make(map[graph.VertexID]time.Time, n/sampleEvery)
+	var samples []time.Duration
+	e.When(0,
+		func(v graph.VertexID, val uint64) bool { return uint64(v)%sampleEvery == 0 && val&1 != 0 },
+		func(v graph.VertexID, _ uint64) {
+			now := time.Now()
+			mu.Lock()
+			if t0, ok := pushTimes[v]; ok {
+				samples = append(samples, now.Sub(t0))
+			}
+			mu.Unlock()
+		})
+	e.InitVertex(0, 0)
+
+	live := stream.NewChan()
+	if err := e.Start([]stream.Stream{live}); err != nil {
+		panic(err)
+	}
+	// Offered load: 200k events/sec — well below single-rank saturation.
+	const offered = 200_000
+	interval := time.Second / offered
+	next := time.Now()
+	for _, ed := range edges {
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		next = next.Add(interval)
+		// The edge (i, i+1) completes vertex i+1's connectivity.
+		if uint64(ed.Dst)%sampleEvery == 0 {
+			mu.Lock()
+			pushTimes[ed.Dst] = time.Now()
+			mu.Unlock()
+		}
+		live.PushEdge(ed)
+	}
+	live.Close()
+	e.Wait()
+
+	mu.Lock()
+	sum := metrics.Summarize(samples)
+	mu.Unlock()
+
+	t := &Table{
+		Title: fmt.Sprintf("Reaction latency under offered load (%d ev/s, path %d, %d ranks)",
+			offered, n, ranks),
+		Header: []string{"System", "p50", "p95", "p99", "max"},
+	}
+	t.AddRow("continuous triggers (this paper)",
+		sum.P50.Round(time.Microsecond).String(),
+		sum.P95.Round(time.Microsecond).String(),
+		sum.P99.Round(time.Microsecond).String(),
+		sum.Max.Round(time.Microsecond).String())
+	// A batching system answers at the next boundary: with batch size B at
+	// this offered rate the expected reaction latency is B/(2*rate) and the
+	// worst case B/rate — pure arithmetic, no implementation needed.
+	for _, b := range []int{1000, 10000, 100000} {
+		expected := time.Duration(float64(b) / 2 / offered * float64(time.Second))
+		worst := time.Duration(float64(b) / offered * float64(time.Second))
+		t.AddRow(fmt.Sprintf("batching, B=%d (boundary wait)", b),
+			expected.Round(time.Microsecond).String(), "-", "-",
+			worst.Round(time.Microsecond).String())
+	}
+	t.AddNote("samples: %d trigger firings; paper shape (§VI-A): continuous triggers react in microseconds-milliseconds regardless of stream length, batching waits out the batch period", sum.N)
+	return t
+}

@@ -1,0 +1,120 @@
+// Package metrics provides the small measurement helpers the benchmark
+// harness uses: wall-clock timers, event-rate accounting, and summary
+// statistics for latency samples.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Timer measures wall-clock durations.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer returns a running timer.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since the timer started.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Rate converts an event count and duration into events per second.
+func Rate(events uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(events) / d.Seconds()
+}
+
+// HumanRate formats an events-per-second figure the way the paper reports
+// them (e.g. "1.3B ev/s", "400M ev/s").
+func HumanRate(r float64) string {
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.2fB ev/s", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM ev/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fK ev/s", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f ev/s", r)
+	}
+}
+
+// HumanCount formats large counts (vertices, edges).
+func HumanCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// HumanBytes formats a byte size.
+func HumanBytes(n uint64) string {
+	switch {
+	case n >= 1<<40:
+		return fmt.Sprintf("%.1f TB", float64(n)/(1<<40))
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Summary aggregates a set of duration samples.
+type Summary struct {
+	N             int
+	Min, Max      time.Duration
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// Summarize computes order statistics over samples (which it sorts a copy
+// of). An empty input yields a zero Summary.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := make([]time.Duration, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(s)-1))
+		return s[idx]
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: sum / time.Duration(len(s)),
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+	}
+}
+
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d min=%s p50=%s p95=%s p99=%s max=%s mean=%s",
+		s.N, s.Min.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond), s.Mean.Round(time.Microsecond))
+}

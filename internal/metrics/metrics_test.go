@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRate(t *testing.T) {
+	if r := Rate(1000, time.Second); r != 1000 {
+		t.Fatalf("Rate = %f", r)
+	}
+	if r := Rate(100, 0); r != 0 {
+		t.Fatalf("Rate with zero duration = %f", r)
+	}
+	if r := Rate(500, 500*time.Millisecond); r != 1000 {
+		t.Fatalf("Rate = %f", r)
+	}
+}
+
+func TestHumanRate(t *testing.T) {
+	cases := map[float64]string{
+		1.3e9: "1.30B ev/s",
+		4e8:   "400.0M ev/s",
+		2500:  "2.5K ev/s",
+		12:    "12 ev/s",
+	}
+	for in, want := range cases {
+		if got := HumanRate(in); got != want {
+			t.Fatalf("HumanRate(%g) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[uint64]string{
+		3_612_134_270: "3.61B",
+		65_608_366:    "65.6M",
+		1500:          "1.5K",
+		42:            "42",
+	}
+	for in, want := range cases {
+		if got := HumanCount(in); got != want {
+			t.Fatalf("HumanCount(%d) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[uint64]string{
+		5 << 40:   "5.0 TB",
+		61 << 30:  "61.0 GB",
+		10 << 20:  "10.0 MB",
+		2048:      "2.0 KB",
+		100:       "100 B",
+		1<<40 + 1: "1.0 TB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Fatalf("HumanBytes(%d) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.String() != "no samples" {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	samples := []time.Duration{5, 1, 3, 2, 4} // will be sorted internally
+	s := Summarize(samples)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Input not mutated.
+	if samples[0] != 5 {
+		t.Fatal("Summarize mutated its input")
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	if tm.Elapsed() < time.Millisecond {
+		t.Fatal("timer did not advance")
+	}
+}

@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incregraph/internal/graph"
+)
+
+func TestHashedRange(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 24, 128} {
+		h := NewHashed(p)
+		if h.Ranks() != p {
+			t.Fatalf("Ranks = %d want %d", h.Ranks(), p)
+		}
+		for v := graph.VertexID(0); v < 10000; v++ {
+			o := h.Owner(v)
+			if o < 0 || o >= p {
+				t.Fatalf("Owner(%d) = %d out of range [0,%d)", v, o, p)
+			}
+		}
+	}
+}
+
+func TestHashedDeterministic(t *testing.T) {
+	a, b := NewHashed(16), NewHashed(16)
+	for v := graph.VertexID(0); v < 1000; v++ {
+		if a.Owner(v) != b.Owner(v) {
+			t.Fatalf("Owner(%d) differs between identical partitioners", v)
+		}
+	}
+}
+
+func TestHashedUniform(t *testing.T) {
+	const p, n = 8, 100000
+	h := NewHashed(p)
+	verts := make([]graph.VertexID, n)
+	for i := range verts {
+		verts[i] = graph.VertexID(i)
+	}
+	st := BalanceVertices(h, verts)
+	// A uniform hash should keep skew tight for sequential IDs.
+	if st.Skew > 1.05 {
+		t.Fatalf("hash partitioner skew %.3f > 1.05; per-rank %v", st.Skew, st.PerRank)
+	}
+}
+
+func TestModulo(t *testing.T) {
+	m := NewModulo(4)
+	for v := graph.VertexID(0); v < 100; v++ {
+		if m.Owner(v) != int(v%4) {
+			t.Fatalf("Modulo Owner(%d) = %d", v, m.Owner(v))
+		}
+	}
+}
+
+func TestPanicOnBadRankCount(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHashed(0) },
+		func() { NewModulo(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for rank count < 1")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBalanceEdges(t *testing.T) {
+	h := NewModulo(2)
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 1, Dst: 0}}
+	st := Balance(h, edges)
+	if st.PerRank[0] != 2 || st.PerRank[1] != 1 {
+		t.Fatalf("per-rank = %v", st.PerRank)
+	}
+	if st.Min != 1 || st.Max != 2 || st.Mean != 1.5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBalanceEmpty(t *testing.T) {
+	st := Balance(NewHashed(4), nil)
+	if st.Min != 0 || st.Max != 0 || st.Mean != 0 || st.Skew != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+// Property: every vertex has exactly one owner, stable across calls.
+func TestQuickOwnerStable(t *testing.T) {
+	h := NewHashed(13)
+	f := func(v uint64) bool {
+		o := h.Owner(graph.VertexID(v))
+		return o >= 0 && o < 13 && o == h.Owner(graph.VertexID(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package rmat implements the recursive-matrix (R-MAT) graph generator with
+// Graph500 parameters, the synthetic workload used by the paper's Fig. 4
+// (global state collection) and Fig. 6 (weak/strong scaling).
+//
+// Table I of the paper specifies RMAT(SCALE) graphs with 2^SCALE vertices
+// and a 16x undirected (32x directed) edge factor, using Graph500
+// partition probabilities A=0.57, B=0.19, C=0.19, D=0.05.
+//
+// Generation is deterministic given (Config, edge index): every edge is
+// produced by an independent SplitMix64-seeded PRNG, so generation
+// parallelizes perfectly and any sub-range of the stream can be regenerated
+// without producing the rest — the same property the paper relies on to
+// feed one saturated stream per rank.
+package rmat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"incregraph/internal/graph"
+)
+
+// Graph500 edge-partition probabilities.
+const (
+	Graph500A = 0.57
+	Graph500B = 0.19
+	Graph500C = 0.19
+	Graph500D = 0.05
+)
+
+// DefaultEdgeFactor matches Table I: 16x undirected edges per vertex.
+const DefaultEdgeFactor = 16
+
+// Config parameterizes an R-MAT instance.
+type Config struct {
+	// Scale: the graph has 2^Scale vertices.
+	Scale int
+	// EdgeFactor: edges = EdgeFactor * 2^Scale. Zero selects
+	// DefaultEdgeFactor.
+	EdgeFactor int
+	// A, B, C, D are the recursive quadrant probabilities; they must sum
+	// to ~1. All-zero selects the Graph500 values.
+	A, B, C, D float64
+	// Seed makes the instance reproducible.
+	Seed uint64
+	// Noise perturbs the quadrant probabilities at each recursion level
+	// (+-Noise*u), a common option to defeat the self-similar artifacts of
+	// pure R-MAT. Zero disables it.
+	Noise float64
+	// MaxWeight > 0 assigns each edge a pseudo-random weight in
+	// [1, MaxWeight] (for SSSP workloads); otherwise weights are 1.
+	MaxWeight uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.EdgeFactor == 0 {
+		c.EdgeFactor = DefaultEdgeFactor
+	}
+	if c.A == 0 && c.B == 0 && c.C == 0 && c.D == 0 {
+		c.A, c.B, c.C, c.D = Graph500A, Graph500B, Graph500C, Graph500D
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Scale < 1 || c.Scale > 40 {
+		return fmt.Errorf("rmat: scale %d out of range [1,40]", c.Scale)
+	}
+	sum := c.A + c.B + c.C + c.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("rmat: probabilities sum to %f, want 1", sum)
+	}
+	if c.Noise < 0 || c.Noise >= 1 {
+		return fmt.Errorf("rmat: noise %f out of range [0,1)", c.Noise)
+	}
+	return nil
+}
+
+// NumVertices returns 2^Scale.
+func (c Config) NumVertices() uint64 { return 1 << uint(c.Scale) }
+
+// NumEdges returns EdgeFactor * 2^Scale.
+func (c Config) NumEdges() uint64 {
+	return uint64(c.withDefaults().EdgeFactor) << uint(c.Scale)
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next value.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unitFloat maps a uint64 to [0,1).
+func unitFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Edge deterministically generates the i-th edge of the stream.
+func (c Config) Edge(i uint64) graph.Edge {
+	c = c.withDefaults()
+	state := c.Seed ^ (i+1)*0x9e3779b97f4a7c15
+	// Burn one output so nearby indices decorrelate fully.
+	splitmix64(&state)
+
+	var src, dst uint64
+	a, b, cc, d := c.A, c.B, c.C, c.D
+	for bit := 0; bit < c.Scale; bit++ {
+		u := unitFloat(splitmix64(&state))
+		var right, down bool
+		switch {
+		case u < a:
+			// top-left quadrant
+		case u < a+b:
+			right = true
+		case u < a+b+cc:
+			down = true
+		default:
+			right, down = true, true
+		}
+		src <<= 1
+		dst <<= 1
+		if down {
+			src |= 1
+		}
+		if right {
+			dst |= 1
+		}
+		if c.Noise > 0 {
+			// Perturb and renormalize, deterministically per level.
+			na := a * (1 - c.Noise + 2*c.Noise*unitFloat(splitmix64(&state)))
+			nb := b * (1 - c.Noise + 2*c.Noise*unitFloat(splitmix64(&state)))
+			nc := cc * (1 - c.Noise + 2*c.Noise*unitFloat(splitmix64(&state)))
+			nd := d * (1 - c.Noise + 2*c.Noise*unitFloat(splitmix64(&state)))
+			norm := na + nb + nc + nd
+			a, b, cc, d = na/norm, nb/norm, nc/norm, nd/norm
+		}
+	}
+	w := graph.Weight(1)
+	if c.MaxWeight > 1 {
+		w = graph.Weight(splitmix64(&state)%uint64(c.MaxWeight)) + 1
+	}
+	return graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), W: w}
+}
+
+// Generate materializes the whole edge list sequentially.
+func Generate(c Config) []graph.Edge {
+	n := c.NumEdges()
+	edges := make([]graph.Edge, n)
+	for i := uint64(0); i < n; i++ {
+		edges[i] = c.Edge(i)
+	}
+	return edges
+}
+
+// GenerateParallel materializes the edge list using the given number of
+// workers (<=0 selects GOMAXPROCS). The result is identical to Generate.
+func GenerateParallel(c Config, workers int) []graph.Edge {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := c.NumEdges()
+	edges := make([]graph.Edge, n)
+	var wg sync.WaitGroup
+	chunk := (n + uint64(workers) - 1) / uint64(workers)
+	for w := 0; w < workers; w++ {
+		lo := uint64(w) * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				edges[i] = c.Edge(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return edges
+}

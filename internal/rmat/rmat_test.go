@@ -1,0 +1,202 @@
+package rmat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incregraph/internal/graph"
+)
+
+func TestValidate(t *testing.T) {
+	ok := Config{Scale: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Scale: 0},
+		{Scale: 41},
+		{Scale: 10, A: 0.9, B: 0.9, C: 0.1, D: 0.1},
+		{Scale: 10, Noise: 1.5},
+		{Scale: 10, Noise: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d passed validation: %+v", i, c)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := Config{Scale: 8}
+	if c.NumVertices() != 256 {
+		t.Fatalf("NumVertices = %d", c.NumVertices())
+	}
+	if c.NumEdges() != 256*16 {
+		t.Fatalf("NumEdges = %d", c.NumEdges())
+	}
+	c.EdgeFactor = 4
+	if c.NumEdges() != 1024 {
+		t.Fatalf("NumEdges with ef=4 = %d", c.NumEdges())
+	}
+}
+
+func TestEdgeInRange(t *testing.T) {
+	c := Config{Scale: 10, Seed: 3}
+	n := c.NumVertices()
+	for i := uint64(0); i < 5000; i++ {
+		e := c.Edge(i)
+		if uint64(e.Src) >= n || uint64(e.Dst) >= n {
+			t.Fatalf("edge %d = %+v outside 2^%d vertices", i, e, c.Scale)
+		}
+		if e.W != 1 {
+			t.Fatalf("edge %d weight %d, want 1 without MaxWeight", i, e.W)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c := Config{Scale: 9, Seed: 99, MaxWeight: 64}
+	a := Generate(c)
+	b := Generate(c)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := Generate(Config{Scale: 8, Seed: 1})
+	b := Generate(Config{Scale: 8, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("%d/%d edges identical across seeds", same, len(a))
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	c := Config{Scale: 10, Seed: 5, MaxWeight: 16}
+	seq := Generate(c)
+	for _, workers := range []int{1, 2, 3, 8} {
+		par := GenerateParallel(c, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: length %d vs %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: edge %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestWeights(t *testing.T) {
+	c := Config{Scale: 8, Seed: 7, MaxWeight: 10}
+	seen := map[graph.Weight]bool{}
+	for i := uint64(0); i < 2000; i++ {
+		w := c.Edge(i).W
+		if w < 1 || w > 10 {
+			t.Fatalf("weight %d out of [1,10]", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct weights in 2000 draws", len(seen))
+	}
+}
+
+// The Graph500 parameters concentrate edges in the low-ID quadrant (A=0.57),
+// producing the skewed degree distribution the paper calls "scale-free".
+func TestSkewTowardLowIDs(t *testing.T) {
+	c := Config{Scale: 12, Seed: 13}
+	edges := Generate(c)
+	half := c.NumVertices() / 2
+	low := 0
+	for _, e := range edges {
+		if uint64(e.Src) < half {
+			low++
+		}
+	}
+	frac := float64(low) / float64(len(edges))
+	// P(src in low half) = A + B = 0.76 at the top level.
+	if frac < 0.70 || frac > 0.82 {
+		t.Fatalf("low-half fraction %.3f, want ~0.76", frac)
+	}
+}
+
+func TestDegreeSkew(t *testing.T) {
+	c := Config{Scale: 12, Seed: 21}
+	edges := Generate(c)
+	deg := map[graph.VertexID]int{}
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(len(edges)) / float64(len(deg))
+	if float64(max) < 10*mean {
+		t.Fatalf("max degree %d vs mean %.1f — distribution not skewed enough for R-MAT", max, mean)
+	}
+}
+
+func TestNoise(t *testing.T) {
+	c := Config{Scale: 10, Seed: 17, Noise: 0.1}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := Generate(c)
+	b := Generate(c)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("noise broke determinism")
+		}
+	}
+	n := c.NumVertices()
+	for _, e := range a {
+		if uint64(e.Src) >= n || uint64(e.Dst) >= n {
+			t.Fatalf("noise produced out-of-range edge %+v", e)
+		}
+	}
+}
+
+// Property: any edge index yields in-range endpoints, for arbitrary seeds.
+func TestQuickEdgeRange(t *testing.T) {
+	c := Config{Scale: 14}
+	n := c.NumVertices()
+	f := func(seed, idx uint64) bool {
+		cc := c
+		cc.Seed = seed
+		e := cc.Edge(idx % cc.NumEdges())
+		return uint64(e.Src) < n && uint64(e.Dst) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEdge(b *testing.B) {
+	c := Config{Scale: 20, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		c.Edge(uint64(i))
+	}
+}
+
+func BenchmarkGenerateParallel(b *testing.B) {
+	c := Config{Scale: 16, Seed: 1}
+	b.SetBytes(int64(c.NumEdges()) * 16)
+	for i := 0; i < b.N; i++ {
+		GenerateParallel(c, 0)
+	}
+}

@@ -1,0 +1,92 @@
+package static
+
+import (
+	"math/rand"
+	"testing"
+
+	"incregraph/internal/csr"
+	"incregraph/internal/gen"
+	"incregraph/internal/graph"
+)
+
+func TestWidestPathKnown(t *testing.T) {
+	// 0 -(5)- 1 -(3)- 2 and a narrow shortcut 0 -(1)- 2: the widest path
+	// to 2 goes through 1 with bottleneck 3.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, W: 5},
+		{Src: 1, Dst: 2, W: 3},
+		{Src: 0, Dst: 2, W: 1},
+	}
+	g := csr.Build(edges, true)
+	width := WidestPath(g, 0)
+	if width[0] != ^uint64(0) {
+		t.Fatalf("source width = %d", width[0])
+	}
+	if width[1] != 5 || width[2] != 3 {
+		t.Fatalf("widths = %v", width)
+	}
+}
+
+func TestWidestPathUnreachable(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1, W: 7}, {Src: 2, Dst: 3, W: 9}}
+	g := csr.Build(edges, true)
+	width := WidestPath(g, 0)
+	if width[2] != 0 || width[3] != 0 {
+		t.Fatalf("disconnected widths = %v", width)
+	}
+}
+
+func TestWidestPathEmpty(t *testing.T) {
+	g := csr.Build(nil, true)
+	if got := WidestPath(g, 0); len(got) != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	g2 := csr.Build(gen.Path(3), true)
+	if got := WidestPath(g2, 99); got[0] != 0 {
+		t.Fatal("out-of-range source should leave widths 0")
+	}
+}
+
+// bruteWidest computes widest paths by fixpoint relaxation — an
+// independent reference implementation.
+func bruteWidest(t Topology, src graph.VertexID) []uint64 {
+	n := int(t.MaxVertexID()) + 1
+	width := make([]uint64, n)
+	width[src] = ^uint64(0)
+	for changed := true; changed; {
+		changed = false
+		t.ForEachVertex(func(v graph.VertexID) bool {
+			if width[v] == 0 {
+				return true
+			}
+			t.Neighbors(v, func(nb graph.VertexID, w graph.Weight) bool {
+				cand := width[v]
+				if uint64(w) < cand {
+					cand = uint64(w)
+				}
+				if cand > width[nb] {
+					width[nb] = cand
+					changed = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return width
+}
+
+func TestWidestPathMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		edges := gen.ErdosRenyi(80, 400, 30, rng.Int63())
+		g := csr.Build(edges, true)
+		fast := WidestPath(g, 0)
+		slow := bruteWidest(g, 0)
+		for v := range fast {
+			if fast[v] != slow[v] {
+				t.Fatalf("trial %d vertex %d: heap=%d brute=%d", trial, v, fast[v], slow[v])
+			}
+		}
+	}
+}

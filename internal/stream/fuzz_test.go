@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"incregraph/internal/graph"
+)
+
+// FuzzReadText hardens the text dataset parser: it must never panic, and
+// anything it accepts must round-trip through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("1 2\n")
+	f.Add("1 2 3\n")
+	f.Add("1 2 3 del\n")
+	f.Add("# comment\n\n10 20 30\n")
+	f.Add("18446744073709551615 0 4294967295\n")
+	f.Add("x y\n")
+	f.Add("1 2 3 4 5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		events, err := ReadText(bytes.NewBufferString(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, events); err != nil {
+			t.Fatalf("WriteText failed on accepted input: %v", err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(events))
+		}
+		for i := range events {
+			if again[i] != events[i] {
+				t.Fatalf("event %d changed: %+v vs %+v", i, again[i], events[i])
+			}
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary parser against truncation and garbage.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	WriteBinary(&seed, []graph.EdgeEvent{
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 3}},
+		{Edge: graph.Edge{Src: ^graph.VertexID(0), Dst: 0, W: 1}, Delete: true},
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		events, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must be an exact multiple of the record size and
+		// must round-trip byte-for-byte.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), in) {
+			t.Fatalf("binary round trip changed bytes: %d vs %d", buf.Len(), len(in))
+		}
+	})
+}

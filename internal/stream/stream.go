@@ -1,0 +1,331 @@
+// Package stream models the paper's event sources (§II-A, §III-C): one or
+// more ordered streams of edge events feeding the engine. Events within one
+// stream are totally ordered; events on different streams are concurrent
+// (no relative order). The engine consumes one stream per rank, each rank
+// "pulling a topology event as soon as local work is completed" — the
+// saturation methodology of §V-A.
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"incregraph/internal/graph"
+)
+
+// Stream is an ordered source of edge events. Next returns the next event
+// and true, or a zero event and false when the stream is exhausted.
+// Streams are not safe for concurrent use; each engine rank owns exactly
+// one stream.
+type Stream interface {
+	Next() (graph.EdgeEvent, bool)
+}
+
+// Slice is a Stream over a pre-materialized event slice.
+type Slice struct {
+	events []graph.EdgeEvent
+	pos    int
+}
+
+// FromEvents wraps events in a Slice stream.
+func FromEvents(events []graph.EdgeEvent) *Slice {
+	return &Slice{events: events}
+}
+
+// FromEdges wraps add-only edges in a Slice stream.
+func FromEdges(edges []graph.Edge) *Slice {
+	events := make([]graph.EdgeEvent, len(edges))
+	for i, e := range edges {
+		events[i] = graph.EdgeEvent{Edge: e}
+	}
+	return &Slice{events: events}
+}
+
+// Next implements Stream.
+func (s *Slice) Next() (graph.EdgeEvent, bool) {
+	if s.pos >= len(s.events) {
+		return graph.EdgeEvent{}, false
+	}
+	ev := s.events[s.pos]
+	s.pos++
+	return ev, true
+}
+
+// Len returns the total number of events in the stream.
+func (s *Slice) Len() int { return len(s.events) }
+
+// Remaining returns the number of unread events.
+func (s *Slice) Remaining() int { return len(s.events) - s.pos }
+
+// Func is a Stream that generates its i-th event on demand — e.g. an R-MAT
+// stream generated while it is ingested, never materialized (how the paper
+// feeds hundreds of billions of edges).
+type Func struct {
+	gen   func(i uint64) graph.EdgeEvent
+	count uint64
+	pos   uint64
+}
+
+// FromFunc builds a Func stream of count events.
+func FromFunc(count uint64, gen func(i uint64) graph.EdgeEvent) *Func {
+	return &Func{gen: gen, count: count}
+}
+
+// FromEdgeFunc builds an add-only Func stream of count events.
+func FromEdgeFunc(count uint64, gen func(i uint64) graph.Edge) *Func {
+	return &Func{count: count, gen: func(i uint64) graph.EdgeEvent {
+		return graph.EdgeEvent{Edge: gen(i)}
+	}}
+}
+
+// Next implements Stream.
+func (f *Func) Next() (graph.EdgeEvent, bool) {
+	if f.pos >= f.count {
+		return graph.EdgeEvent{}, false
+	}
+	ev := f.gen(f.pos)
+	f.pos++
+	return ev, true
+}
+
+// Split partitions edges round-robin into n ordered slice streams — the
+// paper's "split the stream of incoming graph update events among all the
+// participating nodes" (§III-C). Each stream preserves the relative order
+// of the events it carries.
+func Split(edges []graph.Edge, n int) []Stream {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]graph.EdgeEvent, n)
+	for i := range parts {
+		parts[i] = make([]graph.EdgeEvent, 0, len(edges)/n+1)
+	}
+	for i, e := range edges {
+		parts[i%n] = append(parts[i%n], graph.EdgeEvent{Edge: e})
+	}
+	out := make([]Stream, n)
+	for i := range parts {
+		out[i] = &Slice{events: parts[i]}
+	}
+	return out
+}
+
+// SplitEvents is Split for event slices (which may include deletes).
+func SplitEvents(events []graph.EdgeEvent, n int) []Stream {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]graph.EdgeEvent, n)
+	for i, e := range events {
+		parts[i%n] = append(parts[i%n], e)
+	}
+	out := make([]Stream, n)
+	for i := range parts {
+		out[i] = &Slice{events: parts[i]}
+	}
+	return out
+}
+
+// SplitFunc builds n Func streams that strided-partition a generated event
+// sequence: stream k yields events k, k+n, k+2n, ... without materializing
+// anything.
+func SplitFunc(count uint64, n int, gen func(i uint64) graph.Edge) []Stream {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Stream, n)
+	for k := 0; k < n; k++ {
+		k := uint64(k)
+		cnt := count / uint64(n)
+		if k < count%uint64(n) {
+			cnt++
+		}
+		out[k] = FromEdgeFunc(cnt, func(i uint64) graph.Edge {
+			return gen(i*uint64(n) + k)
+		})
+	}
+	return out
+}
+
+// RateLimited throttles an inner stream to at most eventsPerSec, modelling
+// an offered load below saturation ("any offered load lower than the
+// reported maximum performance can be handled in real-time", §V-A).
+type RateLimited struct {
+	inner    Stream
+	interval time.Duration
+	next     time.Time
+}
+
+// Limit wraps inner with a rate cap. eventsPerSec <= 0 returns inner
+// unwrapped.
+func Limit(inner Stream, eventsPerSec float64) Stream {
+	if eventsPerSec <= 0 {
+		return inner
+	}
+	return &RateLimited{
+		inner:    inner,
+		interval: time.Duration(float64(time.Second) / eventsPerSec),
+	}
+}
+
+// Next implements Stream, sleeping as needed to honour the cap.
+func (r *RateLimited) Next() (graph.EdgeEvent, bool) {
+	now := time.Now()
+	if r.next.IsZero() {
+		r.next = now
+	}
+	if wait := r.next.Sub(now); wait > 0 {
+		time.Sleep(wait)
+	}
+	r.next = r.next.Add(r.interval)
+	return r.inner.Next()
+}
+
+// Live is a stream that can be polled without blocking and can notify a
+// consumer when data arrives. The engine uses it so a rank waiting for
+// topology events keeps serving algorithmic events, queries, and snapshot
+// duties — the real-time behaviour of §VI-A.
+type Live interface {
+	Stream
+	// TryNext returns the next event without blocking: (event, true, _)
+	// when one is ready, (_, false, false) when none is buffered yet, and
+	// (_, false, true) once the stream is closed and drained.
+	TryNext() (ev graph.EdgeEvent, ok bool, closed bool)
+	// SetNotify registers fn to be invoked whenever new data arrives or
+	// the stream closes. At most one notifier is supported.
+	SetNotify(fn func())
+}
+
+// Chan is a live, unbounded stream fed by Push from other goroutines — the
+// shape of a real event source (a message bus, a transaction feed). Next
+// blocks until an event arrives or Close is called.
+type Chan struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []graph.EdgeEvent
+	closed bool
+	notify func()
+	pushed uint64
+}
+
+// NewChan returns an empty live stream.
+func NewChan() *Chan {
+	c := &Chan{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Push appends an event. It is safe for concurrent use and never blocks.
+// Push panics if the stream is closed.
+func (c *Chan) Push(ev graph.EdgeEvent) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		panic("stream: Push on closed Chan")
+	}
+	c.buf = append(c.buf, ev)
+	c.pushed++
+	notify := c.notify
+	c.mu.Unlock()
+	c.cond.Signal()
+	if notify != nil {
+		notify()
+	}
+}
+
+// PushEdge appends an add-edge event.
+func (c *Chan) PushEdge(e graph.Edge) { c.Push(graph.EdgeEvent{Edge: e}) }
+
+// Close marks the end of the stream; Next drains buffered events then
+// reports exhaustion.
+func (c *Chan) Close() {
+	c.mu.Lock()
+	c.closed = true
+	notify := c.notify
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	if notify != nil {
+		notify()
+	}
+}
+
+// TryNext implements Live.
+func (c *Chan) TryNext() (graph.EdgeEvent, bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buf) > 0 {
+		ev := c.buf[0]
+		c.buf = c.buf[1:]
+		return ev, true, false
+	}
+	return graph.EdgeEvent{}, false, c.closed
+}
+
+// SetNotify implements Live.
+func (c *Chan) SetNotify(fn func()) {
+	c.mu.Lock()
+	c.notify = fn
+	c.mu.Unlock()
+}
+
+// Pushed returns the total number of events pushed so far.
+func (c *Chan) Pushed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pushed
+}
+
+// Pending returns the number of pushed events not yet consumed.
+func (c *Chan) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// Next implements Stream.
+func (c *Chan) Next() (graph.EdgeEvent, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.buf) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if len(c.buf) == 0 {
+		return graph.EdgeEvent{}, false
+	}
+	ev := c.buf[0]
+	c.buf = c.buf[1:]
+	return ev, true
+}
+
+// Counted wraps a stream and counts delivered events.
+type Counted struct {
+	inner Stream
+	n     uint64
+}
+
+// Count wraps inner.
+func Count(inner Stream) *Counted { return &Counted{inner: inner} }
+
+// Next implements Stream.
+func (c *Counted) Next() (graph.EdgeEvent, bool) {
+	ev, ok := c.inner.Next()
+	if ok {
+		c.n++
+	}
+	return ev, ok
+}
+
+// Delivered returns the number of events handed out so far.
+func (c *Counted) Delivered() uint64 { return c.n }
+
+// Collect drains a stream into a slice (testing helper).
+func Collect(s Stream) []graph.EdgeEvent {
+	var out []graph.EdgeEvent
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}

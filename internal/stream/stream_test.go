@@ -1,0 +1,305 @@
+package stream
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"incregraph/internal/graph"
+)
+
+func edges(n int) []graph.Edge {
+	out := make([]graph.Edge, n)
+	for i := range out {
+		out[i] = graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), W: graph.Weight(i%9 + 1)}
+	}
+	return out
+}
+
+func TestSliceStream(t *testing.T) {
+	s := FromEdges(edges(5))
+	if s.Len() != 5 || s.Remaining() != 5 {
+		t.Fatalf("Len=%d Remaining=%d", s.Len(), s.Remaining())
+	}
+	for i := 0; i < 5; i++ {
+		ev, ok := s.Next()
+		if !ok || ev.Src != graph.VertexID(i) {
+			t.Fatalf("event %d = %+v,%v", i, ev, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+	if s.Remaining() != 0 {
+		t.Fatal("Remaining != 0 at end")
+	}
+}
+
+func TestFromEventsWithDeletes(t *testing.T) {
+	evs := []graph.EdgeEvent{
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 1}},
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 1}, Delete: true},
+	}
+	s := FromEvents(evs)
+	got := Collect(s)
+	if len(got) != 2 || got[1].Delete != true {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestFuncStream(t *testing.T) {
+	f := FromEdgeFunc(10, func(i uint64) graph.Edge {
+		return graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i * 2), W: 1}
+	})
+	got := Collect(f)
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, ev := range got {
+		if ev.Src != graph.VertexID(i) || ev.Dst != graph.VertexID(i*2) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestSplitPreservesOrderAndCoverage(t *testing.T) {
+	in := edges(17)
+	streams := Split(in, 4)
+	if len(streams) != 4 {
+		t.Fatalf("got %d streams", len(streams))
+	}
+	var all []graph.EdgeEvent
+	for k, s := range streams {
+		part := Collect(s)
+		// Round-robin: stream k carries events k, k+4, ...
+		for j, ev := range part {
+			if want := graph.VertexID(k + j*4); ev.Src != want {
+				t.Fatalf("stream %d event %d src = %d want %d", k, j, ev.Src, want)
+			}
+		}
+		all = append(all, part...)
+	}
+	if len(all) != len(in) {
+		t.Fatalf("split lost events: %d/%d", len(all), len(in))
+	}
+}
+
+func TestSplitFuncMatchesSplit(t *testing.T) {
+	in := edges(23)
+	matSplit := Split(in, 3)
+	funSplit := SplitFunc(uint64(len(in)), 3, func(i uint64) graph.Edge { return in[i] })
+	for k := range matSplit {
+		a, b := Collect(matSplit[k]), Collect(funSplit[k])
+		if len(a) != len(b) {
+			t.Fatalf("stream %d lengths %d vs %d", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("stream %d event %d: %+v vs %+v", k, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	streams := Split(edges(3), 0) // n<1 coerced to 1
+	if len(streams) != 1 || len(Collect(streams[0])) != 3 {
+		t.Fatal("Split with n=0 should produce one full stream")
+	}
+	empty := Split(nil, 4)
+	for _, s := range empty {
+		if _, ok := s.Next(); ok {
+			t.Fatal("empty split stream yielded an event")
+		}
+	}
+}
+
+func TestRateLimited(t *testing.T) {
+	s := Limit(FromEdges(edges(30)), 1000) // 1k events/sec -> 30 events ~ 30ms
+	start := time.Now()
+	got := Collect(s)
+	elapsed := time.Since(start)
+	if len(got) != 30 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("30 events at 1k/s took only %v", elapsed)
+	}
+	// Limit(<=0) is a no-op wrapper.
+	inner := FromEdges(edges(1))
+	if Limit(inner, 0) != Stream(inner) {
+		t.Fatal("Limit(0) should return inner unchanged")
+	}
+}
+
+func TestChanStream(t *testing.T) {
+	c := NewChan()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			c.PushEdge(graph.Edge{Src: graph.VertexID(i), Dst: 0, W: 1})
+		}
+		c.Close()
+	}()
+	got := Collect(c)
+	wg.Wait()
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, ev := range got {
+		if ev.Src != graph.VertexID(i) {
+			t.Fatalf("order broken at %d: %+v", i, ev)
+		}
+	}
+	// Push after close panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push after Close should panic")
+		}
+	}()
+	c.PushEdge(graph.Edge{})
+}
+
+func TestChanPushedPending(t *testing.T) {
+	c := NewChan()
+	if c.Pushed() != 0 || c.Pending() != 0 {
+		t.Fatal("fresh Chan not empty")
+	}
+	c.PushEdge(graph.Edge{Src: 1, Dst: 2, W: 1})
+	c.PushEdge(graph.Edge{Src: 2, Dst: 3, W: 1})
+	if c.Pushed() != 2 || c.Pending() != 2 {
+		t.Fatalf("pushed=%d pending=%d", c.Pushed(), c.Pending())
+	}
+	if _, ok, _ := c.TryNext(); !ok {
+		t.Fatal("TryNext failed")
+	}
+	if c.Pushed() != 2 || c.Pending() != 1 {
+		t.Fatalf("after TryNext: pushed=%d pending=%d", c.Pushed(), c.Pending())
+	}
+}
+
+func TestChanTryNextClosed(t *testing.T) {
+	c := NewChan()
+	if _, ok, closed := c.TryNext(); ok || closed {
+		t.Fatal("empty open Chan should be (not-ok, not-closed)")
+	}
+	c.PushEdge(graph.Edge{Src: 1, Dst: 2, W: 1})
+	c.Close()
+	// Buffered events still drain after close.
+	if ev, ok, _ := c.TryNext(); !ok || ev.Src != 1 {
+		t.Fatal("buffered event lost after close")
+	}
+	if _, ok, closed := c.TryNext(); ok || !closed {
+		t.Fatal("drained closed Chan should report closed")
+	}
+}
+
+func TestChanNotify(t *testing.T) {
+	c := NewChan()
+	hits := make(chan struct{}, 4)
+	c.SetNotify(func() { hits <- struct{}{} })
+	c.PushEdge(graph.Edge{})
+	<-hits
+	c.Close()
+	<-hits
+}
+
+func TestCounted(t *testing.T) {
+	c := Count(FromEdges(edges(7)))
+	Collect(c)
+	if c.Delivered() != 7 {
+		t.Fatalf("Delivered = %d", c.Delivered())
+	}
+	// Exhausted Next does not count.
+	c.Next()
+	if c.Delivered() != 7 {
+		t.Fatal("exhausted Next incremented the counter")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	events := []graph.EdgeEvent{
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 1}},
+		{Edge: graph.Edge{Src: 3, Dst: 4, W: 9}},
+		{Edge: graph.Edge{Src: 5, Dst: 6, W: 2}, Delete: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestTextCommentsAndErrors(t *testing.T) {
+	in := "# comment\n\n1 2\n3 4 7\n"
+	got, err := ReadText(bytes.NewBufferString(in))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %v, err %v", got, err)
+	}
+	if got[1].W != 7 {
+		t.Fatalf("weight = %d", got[1].W)
+	}
+	for _, bad := range []string{"1\n", "x y\n", "1 y\n", "1 2 z\n", "1 2 3 flag\n"} {
+		if _, err := ReadText(bytes.NewBufferString(bad)); err == nil {
+			t.Fatalf("input %q parsed without error", bad)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := []graph.EdgeEvent{
+		{Edge: graph.Edge{Src: 1 << 40, Dst: 2, W: 123456}},
+		{Edge: graph.Edge{Src: 0, Dst: ^graph.VertexID(0), W: 1}, Delete: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != events[0] || got[1] != events[1] {
+		t.Fatalf("got %+v", got)
+	}
+	// Truncated record is an error.
+	if _, err := ReadBinary(bytes.NewBuffer(buf.Bytes()[:5])); err == nil {
+		t.Fatal("truncated binary parsed without error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	events := []graph.EdgeEvent{{Edge: graph.Edge{Src: 10, Dst: 20, W: 3}}}
+	for _, name := range []string{"a.txt", "a.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, events); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != events[0] {
+			t.Fatalf("%s: got %+v", name, got)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,74 @@
+package incregraph
+
+import (
+	"incregraph/internal/graph"
+	"incregraph/internal/static"
+	"incregraph/internal/stream"
+)
+
+// NewLiveStream returns an unbounded live event stream: Push events from
+// any goroutine, Close when the source ends. Feed one to Graph.Start to
+// model a real-time event source; the engine polls it without blocking, so
+// queries, triggers, and snapshots stay live while the source is quiet.
+func NewLiveStream() *LiveStream { return stream.NewChan() }
+
+// StreamEdges wraps a pre-materialized edge list in a Stream.
+func StreamEdges(edges []Edge) Stream { return stream.FromEdges(edges) }
+
+// StreamEvents wraps an event list (which may include deletes) in a Stream.
+func StreamEvents(events []EdgeEvent) Stream { return stream.FromEvents(events) }
+
+// SplitEdges partitions edges round-robin into n ordered streams, one per
+// rank — the paper's split-ingestion model: events within a stream are
+// ordered, events across streams are concurrent.
+func SplitEdges(edges []Edge, n int) []Stream { return stream.Split(edges, n) }
+
+// StreamFunc builds a stream that generates its i-th edge on demand,
+// letting arbitrarily long synthetic streams be ingested without
+// materialization.
+func StreamFunc(count uint64, gen func(i uint64) Edge) Stream {
+	return stream.FromEdgeFunc(count, gen)
+}
+
+// SplitFunc builds n on-demand streams that stride-partition a generated
+// sequence: stream k yields edges k, k+n, k+2n, ...
+func SplitFunc(count uint64, n int, gen func(i uint64) Edge) []Stream {
+	return stream.SplitFunc(count, n, gen)
+}
+
+// RateLimit caps a stream at eventsPerSec, modelling an offered load below
+// saturation.
+func RateLimit(s Stream, eventsPerSec float64) Stream { return stream.Limit(s, eventsPerSec) }
+
+// LoadEvents reads a dataset file ("src dst [w]" text, or binary with a
+// .bin extension).
+func LoadEvents(path string) ([]EdgeEvent, error) { return stream.LoadFile(path) }
+
+// SaveEvents writes a dataset file in the format matching the extension.
+func SaveEvents(path string, events []EdgeEvent) error { return stream.SaveFile(path, events) }
+
+// StaticBFS runs the classical level-synchronous BFS over a paused or
+// finished dynamic graph's Topology (or any other Topology), returning
+// levels indexed by raw vertex ID — the paper's "any known static
+// algorithm on the dynamic structure" path.
+func StaticBFS(t Topology, src VertexID) []uint64 { return static.BFS(t, src) }
+
+// StaticSSSP runs Dijkstra over a Topology.
+func StaticSSSP(t Topology, src VertexID) []uint64 { return static.Dijkstra(t, src) }
+
+// StaticCC runs union-find connected components over a Topology.
+func StaticCC(t Topology) []uint64 { return static.ConnectedComponents(t) }
+
+// StaticWidestPath runs the classical widest-path algorithm over a
+// Topology.
+func StaticWidestPath(t Topology, src VertexID) []uint64 { return static.WidestPath(t, src) }
+
+// StaticMultiST runs multi-source reachability labelling over a Topology.
+func StaticMultiST(t Topology, sources []VertexID) []uint64 {
+	return static.MultiST(t, sources)
+}
+
+// StaticUnreached is the "no path" value in static results.
+const StaticUnreached = static.Unreached
+
+func ccLabelOf(v VertexID) uint64 { return graph.CCLabel(v) }
