@@ -1,0 +1,32 @@
+# Build, test, and verification entry points. `make check` is the
+# pre-commit gate: vet + build + full test suite + the lifecycle tests
+# under the race detector (-short skips only the heavy soak matrices; the
+# lifecycle stress cases always run).
+
+GO ?= go
+
+.PHONY: check vet build test race bench examples clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/checkpoint
+
+clean:
+	$(GO) clean ./...

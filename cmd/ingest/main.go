@@ -10,13 +10,21 @@
 //
 // With -verify, the converged dynamic state is checked against the
 // corresponding static algorithm on the final topology.
+//
+// An interrupt (ctrl-C) shuts the run down gracefully: ingestion halts,
+// in-flight cascades drain to a quiescent point, and the statistics for
+// the ingested prefix are reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"incregraph"
 	"incregraph/internal/gen"
@@ -40,6 +48,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Catch interrupts from the start: one arriving while the dataset is
+	// still loading is buffered and honored as soon as the engine exists.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt)
+
 	events, err := loadEvents(*in, *scale, *ef)
 	if err != nil {
 		fatal(err)
@@ -60,10 +73,29 @@ func main() {
 	if prog != nil {
 		programs = append(programs, prog)
 	}
-	g := incregraph.New(incregraph.Config{Ranks: *ranks}, programs...)
+	g := incregraph.NewGraph(programs, incregraph.WithRanks(*ranks))
 	for _, v := range inits {
 		g.InitVertex(0, v)
 	}
+
+	// Graceful shutdown: a first interrupt stops the engine at a quiescent
+	// point (Run then returns normally); a second one force-exits.
+	var interrupted atomic.Bool
+	go func() {
+		<-sigCh
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "ingest: interrupt — draining to a quiescent point (ctrl-C again to force)")
+		go func() {
+			<-sigCh
+			os.Exit(130)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := g.Stop(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "ingest: shutdown timed out:", err)
+			os.Exit(1)
+		}
+	}()
 
 	var streams []incregraph.Stream
 	if hasDeletes(events) {
@@ -76,10 +108,22 @@ func main() {
 
 	stats, err := g.Run(streams...)
 	if err != nil {
+		if interrupted.Load() {
+			// The interrupt landed before ingestion began (e.g. while the
+			// dataset was still loading): nothing was processed.
+			fmt.Println("interrupted before ingestion began")
+			return
+		}
 		fatal(err)
 	}
 	fmt.Printf("ingested: %s\n", stats)
 	fmt.Printf("rate: %s (topology events)\n", metrics.HumanRate(stats.EventsPerSec))
+	if interrupted.Load() {
+		// The stopped state is a consistent prefix of the stream, but not
+		// the full dataset: skip the whole-input verification.
+		fmt.Println("stopped early by interrupt: state is the ingested prefix; skipping -verify")
+		return
+	}
 
 	if *verify && prog != nil {
 		if err := verifyResult(g, *algoN, inits); err != nil {

@@ -1,12 +1,18 @@
-// Checkpoint: persist live analysis across process restarts.
+// Checkpoint: persist a live analysis across process restarts.
 //
 // Long-running on-line analytics must survive restarts without replaying
-// the entire event history. This example simulates that lifecycle inside
-// one process: ingest the first half of a social stream with live BFS and
-// CC state, write a checkpoint (topology + every program's per-vertex
-// state), "restart" by loading the checkpoint into a fresh engine, ingest
-// the second half, and verify the resumed state is identical to an
-// uninterrupted run.
+// the entire event history. With the lifecycle state machine the engine
+// no longer has to run to completion first: Pause halts ingestion and
+// drains every in-flight cascade to a quiescent point, making the state
+// checkpointable mid-run. The checkpoint's metadata block records how far
+// the stream had been consumed, so a restarted process re-attaches the
+// remainder and continues exactly where the paused run left off.
+//
+// This example simulates that lifecycle inside one process: start a live
+// ingestion with BFS and CC state, pause it mid-stream, checkpoint, shut
+// the service down, "restart" by loading the checkpoint into a fresh
+// graph, feed it the rest of the stream, and verify the final state is
+// identical to an uninterrupted run.
 //
 // The checkpoint plays the persistence role of DegAwareRHH's NVRAM tier in
 // the paper's prototype (§III-B): the dynamic graph outlives the process.
@@ -16,7 +22,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"time"
 
 	"incregraph"
 	"incregraph/internal/gen"
@@ -24,35 +32,58 @@ import (
 
 func main() {
 	edges := gen.Shuffle(gen.PreferentialAttachment(10000, 6, 1, 11), 11)
-	half := len(edges) / 2
+	programs := []incregraph.Program{incregraph.BFS(), incregraph.CC()}
 
-	// Phase 1: the "first process" ingests half the stream.
-	g1 := incregraph.New(incregraph.Config{Ranks: 4}, incregraph.BFS(), incregraph.CC())
+	// Phase 1: the "first process" is a live service over an unbounded
+	// stream.
+	g1 := incregraph.NewGraph(programs, incregraph.WithRanks(4))
 	g1.InitVertex(0, 0)
-	if _, err := g1.Run(incregraph.StreamEdges(edges[:half])); err != nil {
+	live := incregraph.NewLiveStream()
+	if err := g1.Start(live); err != nil {
+		panic(err)
+	}
+	for _, e := range edges {
+		live.PushEdge(e)
+	}
+	// Pause mid-stream: the engine parks at an event boundary with the
+	// unconsumed suffix still buffered in the live stream.
+	time.Sleep(2 * time.Millisecond)
+	if err := g1.Pause(); err != nil {
 		panic(err)
 	}
 	var ckpt bytes.Buffer
 	if err := g1.WriteCheckpoint(&ckpt); err != nil {
 		panic(err)
 	}
-	fmt.Printf("checkpoint written: %d bytes after %d events\n", ckpt.Len(), half)
+	fmt.Printf("paused after %d/%d events, checkpoint written: %d bytes\n",
+		g1.Ingested(), len(edges), ckpt.Len())
+	// The paused service is no longer needed: graceful shutdown releases
+	// every engine goroutine without waiting for the stream to close.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := g1.Stop(ctx); err != nil {
+		panic(err)
+	}
 
-	// Phase 2: the "restarted process" resumes from the checkpoint.
-	g2, err := incregraph.LoadCheckpoint(&ckpt, incregraph.Config{},
-		incregraph.BFS(), incregraph.CC())
+	// Phase 2: the "restarted process" loads the checkpoint and
+	// re-attaches the stream from the offset the metadata reports.
+	g2, err := incregraph.LoadCheckpoint(&ckpt, incregraph.Config{}, programs...)
 	if err != nil {
 		panic(err)
 	}
-	stats, err := g2.Run(incregraph.StreamEdges(edges[half:]))
+	meta := g2.CheckpointMeta()
+	if !meta.Paused {
+		panic("expected a paused-run checkpoint")
+	}
+	stats, err := g2.Run(incregraph.StreamEdges(edges[meta.Ingested:]))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("resumed and ingested %d more events at %.0f ev/s\n",
-		stats.TopoEvents, stats.EventsPerSec)
+	fmt.Printf("restored at stream offset %d, ingested %d more events at %.0f ev/s\n",
+		meta.Ingested, stats.TopoEvents, stats.EventsPerSec)
 
 	// Reference: an uninterrupted run over the full stream.
-	ref := incregraph.New(incregraph.Config{Ranks: 4}, incregraph.BFS(), incregraph.CC())
+	ref := incregraph.NewGraph(programs, incregraph.WithRanks(4))
 	ref.InitVertex(0, 0)
 	if _, err := ref.Run(incregraph.StreamEdges(edges)); err != nil {
 		panic(err)

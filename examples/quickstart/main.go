@@ -18,7 +18,8 @@ import (
 
 func main() {
 	// A graph hosting one algorithm: incremental BFS. Program index 0.
-	g := incregraph.New(incregraph.Config{Ranks: 4}, incregraph.BFS())
+	// (NewGraph is the functional-options form of New + Config.)
+	g := incregraph.NewGraph([]incregraph.Program{incregraph.BFS()}, incregraph.WithRanks(4))
 
 	// The BFS source can be chosen at any time — before or during the run.
 	const alice = 0

@@ -1,8 +1,8 @@
 package incregraph
 
 import (
+	"context"
 	"io"
-	"runtime"
 
 	"incregraph/internal/core"
 	"incregraph/internal/graph"
@@ -38,7 +38,24 @@ type (
 	LiveStream = stream.Chan
 	// Topology is a read-only whole-graph adjacency view.
 	Topology = static.Topology
+	// State is the engine lifecycle phase: Idle → Running ⇄ Paused →
+	// Stopped.
+	State = core.State
+	// CheckpointMeta is the run metadata recorded in a checkpoint.
+	CheckpointMeta = core.CheckpointMeta
 )
+
+// Lifecycle states (see Graph.State).
+const (
+	StateIdle    = core.StateIdle
+	StateRunning = core.StateRunning
+	StatePaused  = core.StatePaused
+	StateStopped = core.StateStopped
+)
+
+// ErrStopped is returned by lifecycle transitions attempted on a graph
+// whose engine has already terminated.
+var ErrStopped = core.ErrStopped
 
 // Unset is the state of a vertex no event has touched; Infinity is the
 // "no path yet" distance value.
@@ -81,9 +98,12 @@ const (
 )
 
 // Graph is a dynamic graph with live algorithm state: the user-facing
-// handle over the event-centric engine. Construct with New, register
+// handle over the event-centric engine, designed as a long-lived service.
+// Construct with New (or NewGraph with functional options), register
 // triggers, Start ingestion, interact (Query / Snapshot / InitVertex),
-// then Wait.
+// and either Wait for the streams to end or drive the lifecycle
+// explicitly: Pause/Resume for consistent mid-run reads and checkpoints,
+// Stop for graceful shutdown of an unbounded live run.
 type Graph struct {
 	eng *core.Engine
 }
@@ -113,6 +133,32 @@ func (g *Graph) Wait() Stats { return g.eng.Wait() }
 
 // Run is Start followed by Wait.
 func (g *Graph) Run(streams ...Stream) (Stats, error) { return g.eng.Run(streams) }
+
+// Pause halts ingestion, drains every in-flight cascade to a quiescent
+// point, and parks the engine's rank goroutines at an event boundary.
+// While paused, Collect, Topology, and WriteCheckpoint are legal and
+// observe a consistent global state; Query and Snapshot keep working.
+// InitVertex/Signal calls made while paused are delivered on Resume;
+// topology events stay buffered in their streams. Idempotent; returns
+// ErrStopped if the engine terminated first.
+func (g *Graph) Pause() error { return g.eng.Pause() }
+
+// Resume continues a paused run: parked ranks pull their streams again and
+// events held during the pause are delivered. Idempotent on a running
+// graph; returns ErrStopped after termination.
+func (g *Graph) Resume() error { return g.eng.Resume() }
+
+// Stop gracefully shuts the graph down from any state: it halts ingestion,
+// drains in-flight cascades to a consistent quiescent point, and releases
+// every engine goroutine — the way to end a run over live streams that
+// never close. It returns nil once termination is complete (Wait will not
+// block), or ctx.Err() if the context expires first, in which case the
+// shutdown continues in the background. Stopping a stopped graph is an
+// idempotent wait.
+func (g *Graph) Stop(ctx context.Context) error { return g.eng.Stop(ctx) }
+
+// State returns the engine's lifecycle state.
+func (g *Graph) State() State { return g.eng.State() }
 
 // InitVertex instantiates program algo at vertex v (e.g. chooses a BFS or
 // S-T source). It may be called before Start or at any time during a run.
@@ -156,9 +202,9 @@ func (g *Graph) Collect(algo int) []VertexValue { return g.eng.Collect(algo) }
 func (g *Graph) CollectMap(algo int) map[VertexID]uint64 { return g.eng.CollectMap(algo) }
 
 // Topology returns a read-only whole-graph view usable with any static
-// algorithm. Only valid before Start or after Wait ("any known static
-// algorithm can be applied on the dynamic graph whose evolution is paused
-// or concluded").
+// algorithm. Valid before Start, while the graph is Paused, or after Wait
+// ("any known static algorithm can be applied on the dynamic graph whose
+// evolution is paused or concluded").
 func (g *Graph) Topology() Topology { return g.eng.Topology() }
 
 // Quiescent reports whether no event is buffered, queued, or being
@@ -176,15 +222,15 @@ func (g *Graph) Ingested() uint64 { return g.eng.Ingested() }
 // has been ingested and fully processed (including all recursive update
 // cascades). It is the synchronization point between "I pushed these
 // events" and "queries now reflect them"; pushes that happen concurrently
-// with Drain may or may not be covered.
+// with Drain may or may not be covered. The wait is condition-signalled —
+// the caller parks and is woken by the engine's quiescence transitions,
+// not a spin loop — and returns early if the graph stops.
 func (g *Graph) Drain(streams ...*LiveStream) {
 	var pushed uint64
 	for _, s := range streams {
 		pushed += s.Pushed()
 	}
-	for g.eng.Ingested() < pushed || !g.eng.Quiescent() {
-		runtime.Gosched()
-	}
+	g.eng.WaitDrained(func() uint64 { return pushed })
 }
 
 // Ranks returns the configured rank count.
@@ -192,13 +238,21 @@ func (g *Graph) Ranks() int { return g.eng.Ranks() }
 
 // WriteCheckpoint serializes the graph's full state — topology plus every
 // program's per-vertex values — so analysis can resume in a later process.
-// Valid before Start or after Wait.
+// Valid before Start, while Paused (checkpointing a live run at its
+// quiescent pause point), or after Wait.
 func (g *Graph) WriteCheckpoint(w io.Writer) error { return g.eng.WriteCheckpoint(w) }
+
+// CheckpointMeta returns the metadata block of the checkpoint this graph
+// was loaded from: how many topology events the writing run had ingested
+// and whether it was a paused live run. Zero for a graph built fresh.
+func (g *Graph) CheckpointMeta() CheckpointMeta { return g.eng.CheckpointMeta() }
 
 // LoadCheckpoint builds a fresh, not-yet-started Graph from a checkpoint
 // written by WriteCheckpoint. programs must match the writer's program set
 // in count and order; cfg's rank-affecting options are overridden by the
-// checkpoint's.
+// checkpoint's. For a checkpoint taken from a paused live run, re-attach
+// the interrupted streams from the offset CheckpointMeta reports and
+// Start: the run continues exactly where it paused.
 func LoadCheckpoint(r io.Reader, cfg Config, programs ...Program) (*Graph, error) {
 	eng, err := core.ReadCheckpoint(r, core.Options{
 		BatchSize: cfg.BatchSize,

@@ -2,6 +2,7 @@ package incregraph_test
 
 import (
 	"bytes"
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -235,4 +236,111 @@ func TestFacadeDirectedMode(t *testing.T) {
 	// Directed SSSP and widest variants construct fine too.
 	_ = incregraph.DirectedSSSP()
 	_ = incregraph.DirectedWidestPath()
+}
+
+// TestFacadeLifecycle drives the public lifecycle surface: the functional
+// options constructor, Pause making Collect/Topology/WriteCheckpoint legal
+// mid-run, deferred events on Resume, and Stop as the graceful end of a
+// live run whose stream never closes.
+func TestFacadeLifecycle(t *testing.T) {
+	g := incregraph.NewGraph(
+		[]incregraph.Program{incregraph.BFS(), incregraph.CC()},
+		incregraph.WithRanks(3),
+		incregraph.WithBatchSize(64),
+	)
+	g.InitVertex(0, 0)
+	if g.State() != incregraph.StateIdle {
+		t.Fatalf("fresh state = %v", g.State())
+	}
+	live := incregraph.NewLiveStream()
+	if err := g.Start(live); err != nil {
+		t.Fatal(err)
+	}
+	if g.State() != incregraph.StateRunning {
+		t.Fatalf("running state = %v", g.State())
+	}
+	edges := gen.Path(120)
+	for _, e := range edges {
+		live.PushEdge(e)
+	}
+	g.Drain(live)
+
+	if err := g.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if g.State() != incregraph.StatePaused {
+		t.Fatalf("paused state = %v", g.State())
+	}
+	// Mid-run reads that would panic on a running graph are legal now.
+	if vals := g.Collect(0); len(vals) != 120 {
+		t.Fatalf("paused Collect: %d vertices, want 120", len(vals))
+	}
+	if lv := incregraph.StaticBFS(g.Topology(), 0); lv[119] != 120 {
+		t.Fatalf("static BFS over paused topology: %d", lv[119])
+	}
+	var ckpt bytes.Buffer
+	if err := g.WriteCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint restores as a paused-run image with the stream offset.
+	g2, err := incregraph.LoadCheckpoint(&ckpt, incregraph.Config{},
+		incregraph.BFS(), incregraph.CC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := g2.CheckpointMeta()
+	if !meta.Paused || meta.Ingested != uint64(len(edges)) {
+		t.Fatalf("checkpoint meta = %+v, want Paused at offset %d", meta, len(edges))
+	}
+	if q := g2.Query(0, 119); q.Value != 120 {
+		t.Fatalf("restored query = %+v", q)
+	}
+
+	if err := g.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if g.State() != incregraph.StateRunning {
+		t.Fatalf("resumed state = %v", g.State())
+	}
+	// Stop ends the live run without closing the stream.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := g.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.State() != incregraph.StateStopped {
+		t.Fatalf("stopped state = %v", g.State())
+	}
+	g.Wait() // does not block after Stop
+	if err := g.Pause(); err != incregraph.ErrStopped {
+		t.Fatalf("Pause after Stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestFacadeDrainPrompt bounds the latency of Drain on an already-idle
+// live stream: the condition-signalled wait must return without polling
+// delays (the old implementation spun on runtime.Gosched).
+func TestFacadeDrainPrompt(t *testing.T) {
+	g := incregraph.NewGraph([]incregraph.Program{incregraph.CC()}, incregraph.WithRanks(2))
+	live := incregraph.NewLiveStream()
+	if err := g.Start(live); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gen.Cycle(400) {
+		live.PushEdge(e)
+	}
+	g.Drain(live)
+	if g.Ingested() != 400 || !g.Quiescent() {
+		t.Fatalf("Drain returned early: ingested %d quiescent=%v", g.Ingested(), g.Quiescent())
+	}
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		g.Drain(live)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("100 idle Drains took %v", d)
+	}
+	live.Close()
+	g.Wait()
 }

@@ -13,9 +13,13 @@ import (
 // program's per-vertex values — so analysis can resume after a restart.
 // It substitutes for the persistence role DegAwareRHH's NVRAM tier plays
 // in the paper's prototype (§III-B): the dynamic graph outlives the
-// process. A checkpoint taken after Wait (or before Start) is a consistent
-// whole; a fresh engine loaded from it continues ingesting new streams
-// with all algorithm state intact.
+// process. A checkpoint is legal whenever the engine's evolution is not in
+// flight: before Start, after termination, or — the live-service case —
+// while the engine is Paused at a quiescent point. A fresh engine loaded
+// from it continues ingesting new streams with all algorithm state intact;
+// for a paused-run checkpoint the metadata block records how far the
+// writing run had ingested so the operator can re-attach the remainder of
+// the stream.
 //
 // Limitations, by design: the rank count, program set, and partitioner of
 // the loading engine must match the writing one (vertex placement is
@@ -23,13 +27,37 @@ import (
 // fired-once bitmaps are not persisted — the once-only guarantee is per
 // engine lifetime.
 
-var ckptMagic = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '1'}
+// Format versions: v2 adds the run-metadata block (ingested count, paused
+// flag) between the flags word and the program count; v1 checkpoints are
+// still readable and load with zero metadata.
+var (
+	ckptMagicV1 = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '1'}
+	ckptMagic   = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '2'}
+)
+
+// CheckpointMeta is the run metadata recorded in a (v2) checkpoint.
+type CheckpointMeta struct {
+	// Ingested is the number of topology events the writing run had pulled
+	// from its streams when the checkpoint was taken — the stream offset a
+	// resuming operator re-attaches from.
+	Ingested uint64
+	// Paused reports that the checkpoint captured a paused live run rather
+	// than a terminated (or never-started) one.
+	Paused bool
+}
+
+// CheckpointMeta returns the metadata block of the checkpoint this engine
+// was loaded from (the zero value for an engine built fresh or loaded from
+// a v1 checkpoint).
+func (e *Engine) CheckpointMeta() CheckpointMeta { return e.loadedMeta }
 
 // WriteCheckpoint serializes the engine's state. The engine must not be
-// running (checkpoint before Start or after Wait).
+// mid-run: checkpoint before Start, after termination, or — for a live
+// run — after Pause, which drains to the consistent quiescent point the
+// checkpoint captures.
 func (e *Engine) WriteCheckpoint(w io.Writer) error {
-	if e.started.Load() && !e.finished.Load() {
-		return fmt.Errorf("core: checkpoint requires a stopped engine")
+	if !e.mayInspect() {
+		return fmt.Errorf("core: checkpoint requires an idle, paused, or terminated engine (state %s)", e.State())
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(ckptMagic[:]); err != nil {
@@ -44,6 +72,13 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	}
 	flags |= uint32(e.opts.WeightPolicy) << 1
 	writeU32(flags)
+	// v2 run-metadata block.
+	writeU64(e.ingested.Load())
+	pausedByte := byte(0)
+	if e.State() == StatePaused {
+		pausedByte = 1
+	}
+	bw.WriteByte(pausedByte)
 	writeU32(uint32(len(e.programs)))
 	for _, r := range e.ranks {
 		writeU32(uint32(r.store.NumVertices()))
@@ -72,14 +107,16 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 // ReadCheckpoint builds a fresh, not-yet-started engine from a checkpoint.
 // opts must describe the same rank count and partitioner as the writer
 // (vertex placement is validated); programs must match the writer's
-// program count and order.
+// program count and order. The checkpoint's metadata block (if present) is
+// available through CheckpointMeta — for a paused-run checkpoint it tells
+// the caller where to resume the interrupted streams.
 func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: checkpoint header: %w", err)
 	}
-	if magic != ckptMagic {
+	if magic != ckptMagic && magic != ckptMagicV1 {
 		return nil, fmt.Errorf("core: not a checkpoint (bad magic %q)", magic[:])
 	}
 	readU32 := func() (uint32, error) {
@@ -100,6 +137,17 @@ func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, er
 	if err != nil {
 		return nil, err
 	}
+	var meta CheckpointMeta
+	if magic == ckptMagic {
+		if meta.Ingested, err = readU64(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint metadata: %w", err)
+		}
+		pausedByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint metadata: %w", err)
+		}
+		meta.Paused = pausedByte != 0
+	}
 	nProgs, err := readU32()
 	if err != nil {
 		return nil, err
@@ -111,6 +159,7 @@ func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, er
 	opts.Undirected = flags&1 != 0
 	opts.WeightPolicy = graph.WeightPolicy(flags >> 1 & 3)
 	e := New(opts, programs...)
+	e.loadedMeta = meta
 
 	for ri, rk := range e.ranks {
 		nVerts, err := readU32()

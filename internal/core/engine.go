@@ -87,6 +87,29 @@ type Engine struct {
 	started     atomic.Bool
 	wg          sync.WaitGroup
 
+	// Lifecycle state machine (Idle → Running ⇄ Paused → Stopped); the
+	// control protocol lives in lifecycle.go.
+	state    atomic.Int32
+	lifeMu   sync.Mutex // serializes Pause/Resume/Stop transitions
+	pauseReq atomic.Bool
+	stopReq  atomic.Bool
+	parked   atomic.Int32 // ranks currently parked at the pause barrier
+	gateMu   sync.Mutex
+	resumeCh chan struct{} // armed per pause cycle; closed to release parked ranks
+	extMu    sync.Mutex    // fences external emissions against a pause
+	deferred []Event       // external events held while paused; replayed on Resume
+
+	// Quiescence signalling: qCond is broadcast on every in-flight zero
+	// crossing, rank parking, and termination, so waiters (Pause,
+	// WaitDrained) park instead of spinning.
+	qMu      sync.Mutex
+	qCond    *sync.Cond
+	qWaiters atomic.Int32
+
+	// loadedMeta carries the metadata block of the checkpoint this engine
+	// was built from (zero if built fresh).
+	loadedMeta CheckpointMeta
+
 	startTime time.Time
 	stats     Stats
 	statsOnce sync.Once
@@ -114,6 +137,7 @@ func New(opts Options, programs ...Program) *Engine {
 		programs: programs,
 		done:     make(chan struct{}),
 	}
+	e.qCond = sync.NewCond(&e.qMu)
 	e.ranks = make([]*rank, opts.Ranks)
 	for i := range e.ranks {
 		e.ranks[i] = newRank(e, i)
@@ -134,9 +158,13 @@ func (e *Engine) Start(streams []stream.Stream) error {
 	if len(streams) > len(e.ranks) {
 		return fmt.Errorf("core: %d streams for %d ranks", len(streams), len(e.ranks))
 	}
+	if e.finished.Load() {
+		return fmt.Errorf("core: engine already stopped")
+	}
 	if e.started.Swap(true) {
 		return fmt.Errorf("core: engine already started")
 	}
+	e.state.Store(int32(StateRunning))
 	e.streamsLeft.Store(int32(len(e.ranks)))
 	e.startTime = time.Now()
 	for i, r := range e.ranks {
@@ -174,13 +202,17 @@ func (e *Engine) Quiescent() bool {
 	return true
 }
 
-// Wait blocks until the engine terminates (all streams exhausted, all
-// cascades quiescent) and returns the run statistics.
+// Wait blocks until the engine terminates — all streams exhausted and all
+// cascades quiescent, or a Stop completed — and returns the run
+// statistics.
 func (e *Engine) Wait() Stats {
 	<-e.done
 	e.wg.Wait()
 	e.statsOnce.Do(func() {
-		s := Stats{Duration: time.Since(e.startTime), Ranks: e.opts.Ranks}
+		s := Stats{Ranks: e.opts.Ranks}
+		if !e.startTime.IsZero() {
+			s.Duration = time.Since(e.startTime)
+		}
 		for _, r := range e.ranks {
 			rs := RankStats{
 				TopoEvents: r.topoEvents,
@@ -234,7 +266,23 @@ func (e *Engine) Signal(algo int, v graph.VertexID, val uint64) {
 // counted in the ring slot matching its label even when it races a
 // snapshot marker, so a snapshot can never be declared drained while an
 // event claiming the old version is still unprocessed.
+//
+// Emission is fenced against the lifecycle: while a pause is in progress
+// or the engine is paused, the event is held in the deferred queue and
+// replayed on Resume (so a paused engine's state stays frozen); once a
+// stop is requested the event is discarded. The fence mutex guarantees a
+// pause observes either the fully-registered event (and waits for it to
+// drain) or none of it.
 func (e *Engine) emitExternal(ev Event) {
+	e.extMu.Lock()
+	defer e.extMu.Unlock()
+	if e.stopReq.Load() || e.finished.Load() && e.started.Load() {
+		return
+	}
+	if e.pauseReq.Load() {
+		e.deferred = append(e.deferred, ev)
+		return
+	}
 	for {
 		s := e.snapSeq.Load()
 		e.inflight[s&3].Add(1)
@@ -247,11 +295,16 @@ func (e *Engine) emitExternal(ev Event) {
 	e.ranks[e.part.Owner(ev.To)].inbox.push([]Event{ev})
 }
 
-// tryFinish detects global termination: every stream exhausted and no
-// event buffered, queued, or mid-processing anywhere. Callable from any
-// rank; closes done exactly once.
+// tryFinish detects global termination: every stream exhausted (or a stop
+// requested) and no event buffered, queued, or mid-processing anywhere.
+// A pause in progress wins over natural termination — ranks park at the
+// barrier instead, and termination is re-detected after Resume. Callable
+// from any rank; closes done exactly once.
 func (e *Engine) tryFinish() bool {
-	if e.streamsLeft.Load() != 0 {
+	if e.pauseReq.Load() {
+		return false
+	}
+	if e.streamsLeft.Load() != 0 && !e.stopReq.Load() {
 		return false
 	}
 	for i := range e.inflight {
@@ -261,8 +314,10 @@ func (e *Engine) tryFinish() bool {
 	}
 	e.finishOnce.Do(func() {
 		e.finished.Store(true)
+		e.state.Store(int32(StateStopped))
 		close(e.done)
 	})
+	e.signalQuiesce()
 	return true
 }
 
@@ -333,13 +388,14 @@ type VertexValue struct {
 	Val uint64
 }
 
-// Collect gathers the complete state of program algo after the engine has
-// terminated (or before it starts), sorted by vertex ID. For collection
-// while the engine runs, use SnapshotAsync.
+// Collect gathers the complete state of program algo once the engine's
+// evolution is paused or concluded (before Start, while Paused, or after
+// termination), sorted by vertex ID. For collection while the engine runs,
+// use SnapshotAsync.
 func (e *Engine) Collect(algo int) []VertexValue {
 	e.checkAlgo(algo)
-	if e.started.Load() && !e.finished.Load() {
-		panic("core: Collect during a run; use SnapshotAsync")
+	if !e.mayInspect() {
+		panic("core: Collect during a run; Pause first or use SnapshotAsync")
 	}
 	var out []VertexValue
 	for _, r := range e.ranks {

@@ -84,3 +84,8 @@ func (m *mailbox) wait(done <-chan struct{}) {
 	case <-done:
 	}
 }
+
+// wakeChan exposes the wake-token channel so a parked rank can select on
+// mailbox activity together with its lifecycle resume gate. Receiving from
+// it consumes the pending token, exactly like wait.
+func (m *mailbox) wakeChan() <-chan struct{} { return m.wake }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"incregraph/internal/graph"
+	"incregraph/internal/partition"
+)
+
+// Option is a functional option configuring an Engine — the chainable,
+// self-documenting equivalent of filling the Options struct, which keeps
+// working unchanged (NewWith and New build identical engines).
+//
+// Example:
+//
+//	e := core.NewWith(programs,
+//		core.WithRanks(8),
+//		core.WithUndirected(true),
+//		core.WithBatchSize(512),
+//	)
+type Option func(*Options)
+
+// WithRanks sets the number of shared-nothing event-loop goroutines (the
+// reproduction's analogue of the paper's MPI process count).
+func WithRanks(n int) Option {
+	return func(o *Options) { o.Ranks = n }
+}
+
+// WithUndirected selects (or, with false, deselects) the paper's
+// undirected-edge protocol: every ADD at the edge source triggers a
+// REVERSE_ADD at the destination (§III-A, §III-C).
+func WithUndirected(undirected bool) Option {
+	return func(o *Options) { o.Undirected = undirected }
+}
+
+// WithSmallCap sets the degree-aware promotion threshold of the graph
+// store (0 selects the default).
+func WithSmallCap(n int) Option {
+	return func(o *Options) { o.SmallCap = n }
+}
+
+// WithWeightPolicy selects how duplicate-edge weights merge. Pick the
+// policy monotone-compatible with the hooked algorithms: WeightMin for
+// SSSP, WeightMax for widest-path.
+func WithWeightPolicy(p graph.WeightPolicy) Option {
+	return func(o *Options) { o.WeightPolicy = p }
+}
+
+// WithBatchSize sets the outbound message batching granularity (0 selects
+// the default of 256).
+func WithBatchSize(n int) Option {
+	return func(o *Options) { o.BatchSize = n }
+}
+
+// WithPartitioner overrides the default consistent-hash partitioner. The
+// partitioner's rank count must match WithRanks.
+func WithPartitioner(p partition.Partitioner) Option {
+	return func(o *Options) { o.Partitioner = p }
+}
+
+// WithIngestFirst makes ranks pull a topology event before draining the
+// mailbox — the latency/ingest-rate ablation knob of §V-C.
+func WithIngestFirst(ingestFirst bool) Option {
+	return func(o *Options) { o.IngestFirst = ingestFirst }
+}
+
+// NewWith builds an engine from functional options; it is New with the
+// Options struct assembled from opts. Later options override earlier ones.
+func NewWith(programs []Program, opts ...Option) *Engine {
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return New(o, programs...)
+}

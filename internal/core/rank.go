@@ -113,6 +113,13 @@ func (r *rank) loop() {
 		// park or declare termination.
 		r.flushAll()
 		r.snapshotChores()
+		// A requested pause parks the rank once the whole engine is
+		// quiescent: external emissions are fenced, so the remaining
+		// in-flight work is finite and this point is always reached.
+		if r.eng.pauseReq.Load() && r.eng.Quiescent() {
+			r.park()
+			continue
+		}
 		if r.eng.tryFinish() {
 			r.exit()
 			return
@@ -134,12 +141,13 @@ func (r *rank) exit() {
 }
 
 // pullStream ingests one topology event; it returns false when no event is
-// available right now (live stream empty) or ever again (exhausted).
-// Live streams are polled without blocking so the rank keeps serving
-// algorithmic events, queries, and snapshot duties while its source is
-// quiet (§VI-A's real-time properties).
+// available right now (live stream empty, or ingestion halted by a pause
+// or stop in progress) or ever again (exhausted). Live streams are polled
+// without blocking so the rank keeps serving algorithmic events, queries,
+// and snapshot duties while its source is quiet (§VI-A's real-time
+// properties).
 func (r *rank) pullStream() bool {
-	if r.streamDone {
+	if r.streamDone || r.eng.ingestHalted() {
 		return false
 	}
 	var ev graph.EdgeEvent
@@ -224,13 +232,15 @@ func (r *rank) applyDecrements() {
 		if n := r.pendingDec[i]; n != 0 {
 			r.pendingDec[i] = 0
 			if r.eng.inflight[i].Add(-n) == 0 {
-				// A version may just have drained: snapshots and parked
-				// ranks need to know.
+				// A version may just have drained: snapshots, idle ranks
+				// awaiting termination or the pause barrier, and quiescence
+				// waiters all need to know.
 				if snap := r.eng.activeSnap.Load(); snap != nil && uint32(i) == (snap.marker-1)&3 {
 					r.eng.wakeAll()
-				} else if r.eng.streamsLeft.Load() == 0 {
+				} else if r.eng.streamsLeft.Load() == 0 || r.eng.ingestHalted() {
 					r.eng.wakeAll()
 				}
+				r.eng.signalQuiesce()
 			}
 		}
 	}
@@ -387,14 +397,22 @@ func (r *rank) handleDelete(ev *Event) {
 	if !removed {
 		return
 	}
-	slot, _ := r.store.SlotOf(ev.To)
-	for a, p := range r.eng.programs {
-		da, ok := p.(DeleteAware)
-		if !ok {
-			continue
+	// The source vertex normally still exists after the removal (the store
+	// never deletes vertices), but a slot without grown state arrays — or
+	// no slot at all — must not index another vertex's value: run the
+	// callbacks only for a resolvable vertex and fall back to Unset for
+	// the reverse notification's carried value.
+	slot, ok := r.store.SlotOf(ev.To)
+	if ok {
+		r.growValues(slot)
+		for a, p := range r.eng.programs {
+			da, isDA := p.(DeleteAware)
+			if !isDA {
+				continue
+			}
+			ctx := r.ctx(uint8(a), slot, ev.To, ev.Seq, viewLive)
+			da.OnDelete(&ctx, ev.From, ev.W)
 		}
-		ctx := r.ctx(uint8(a), slot, ev.To, ev.Seq, viewLive)
-		da.OnDelete(&ctx, ev.From, ev.W)
 	}
 	if r.eng.opts.Undirected {
 		if len(r.eng.programs) == 0 {
@@ -402,8 +420,12 @@ func (r *rank) handleDelete(ev *Event) {
 				To: ev.From, From: ev.To, W: ev.W})
 		}
 		for a := range r.eng.programs {
+			val := Unset
+			if ok {
+				val = r.values[a][slot]
+			}
 			r.emit(Event{Kind: KindReverseDelete, Algo: uint8(a), Seq: ev.Seq,
-				To: ev.From, From: ev.To, Val: r.values[a][slot], W: ev.W})
+				To: ev.From, From: ev.To, Val: val, W: ev.W})
 		}
 	}
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"incregraph/internal/graph"
+)
+
+// stubProg is a minimal no-op Program for white-box tests (the real
+// algorithms live in internal/algo, which imports this package).
+type stubProg struct{}
+
+func (stubProg) Init(*Ctx)                                        {}
+func (stubProg) OnAdd(*Ctx, graph.VertexID, graph.Weight)         {}
+func (stubProg) OnReverseAdd(*Ctx, graph.VertexID, uint64, graph.Weight) {}
+func (stubProg) OnUpdate(*Ctx, graph.VertexID, uint64, graph.Weight)     {}
+
+// TestHandleDeleteUngrownSlot regression-tests the delete path against a
+// vertex whose slot exists in the store but whose per-program value
+// arrays were never grown. handleDelete used to index values[a][slot]
+// unconditionally — ignoring the SlotOf ok flag and the array length —
+// which panicked with index-out-of-range; it must instead resolve the
+// slot defensively and fall back to Unset for the reverse notification's
+// carried value.
+func TestHandleDeleteUngrownSlot(t *testing.T) {
+	e := New(Options{Ranks: 1, Undirected: true}, stubProg{})
+	r := e.ranks[0]
+	// Plant the edge directly in the store, bypassing handleAdd and its
+	// growValues call: the slot resolves but values[0] is still empty.
+	r.store.AddEdge(5, 7, 1, 0)
+	ev := Event{Kind: KindDelete, To: 5, From: 7, W: 1}
+	r.handleDelete(&ev)
+	var rev *Event
+	for dest := range r.out {
+		for i := range r.out[dest] {
+			if r.out[dest][i].Kind == KindReverseDelete {
+				rev = &r.out[dest][i]
+			}
+		}
+	}
+	if rev == nil {
+		t.Fatal("no reverse-delete emitted for a removed undirected edge")
+	}
+	if rev.To != 7 || rev.From != 5 || rev.Val != Unset {
+		t.Fatalf("reverse delete = %+v, want To=7 From=5 Val=Unset", *rev)
+	}
+	if _, ok := r.store.SlotOf(5); !ok {
+		t.Fatal("edge delete must not remove the vertex itself")
+	}
+}
+
+// TestHandleDeleteNoPrograms covers the program-less topology-maintenance
+// variant: the reverse side must still be torn down via a NoAlgo event.
+func TestHandleDeleteNoPrograms(t *testing.T) {
+	e := New(Options{Ranks: 1, Undirected: true})
+	r := e.ranks[0]
+	r.store.AddEdge(3, 4, 2, 0)
+	ev := Event{Kind: KindDelete, To: 3, From: 4, W: 2}
+	r.handleDelete(&ev)
+	found := false
+	for dest := range r.out {
+		for _, oe := range r.out[dest] {
+			if oe.Kind == KindReverseDelete && oe.Algo == NoAlgo && oe.To == 4 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no NoAlgo reverse-delete emitted")
+	}
+}

@@ -43,7 +43,9 @@ type Snapshot struct {
 // algorithm processing continue. Call Wait for the result. Snapshots are
 // serialized: a request blocks (briefly) until any in-flight snapshot
 // finalizes. On an engine that is not running, the collection is
-// immediate.
+// immediate. On a paused engine the marker protocol still applies: parked
+// ranks serve their snapshot duties from the pause barrier, and since the
+// engine is quiescent the snapshot finalizes without resuming ingestion.
 func (e *Engine) SnapshotAsync(algo int) *Snapshot {
 	e.checkAlgo(algo)
 	e.snapMu.Lock()

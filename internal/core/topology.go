@@ -11,7 +11,7 @@ import (
 // of a static algorithm running over the dynamically-built structure.
 //
 // The view is only safe while no rank goroutine is mutating the shards:
-// before Start or after Wait.
+// before Start, while the engine is Paused, or after termination.
 type TopoView struct {
 	eng   *Engine
 	maxID graph.VertexID
@@ -19,9 +19,9 @@ type TopoView struct {
 }
 
 // Topology returns a read-only whole-graph view across all shards. It
-// panics if the engine is mid-run.
+// panics if the engine is mid-run (running and not paused).
 func (e *Engine) Topology() *TopoView {
-	if e.started.Load() && !e.finished.Load() {
+	if !e.mayInspect() {
 		panic("core: Topology view requires a paused or terminated engine")
 	}
 	t := &TopoView{eng: e}

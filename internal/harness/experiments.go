@@ -157,9 +157,7 @@ func Fig4(cfg Config) *Table {
 		// The paper requests collection at wall-clock intervals during
 		// saturation; we discretize by edge count so the cut is a known
 		// prefix and the static reference can run on the same topology.
-		for e.Ingested() != uint64(hi) || !e.Quiescent() {
-			time.Sleep(50 * time.Microsecond)
-		}
+		e.WaitDrained(func() uint64 { return uint64(hi) })
 		snap := e.SnapshotAsync(0)
 		got := snap.Wait()
 		latency := snap.Latency()

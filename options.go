@@ -1,0 +1,56 @@
+package incregraph
+
+// Option is a functional option for NewGraph — the chainable equivalent of
+// filling a Config struct, which keeps working unchanged.
+//
+// Example:
+//
+//	g := incregraph.NewGraph(
+//		[]incregraph.Program{incregraph.BFS(), incregraph.CC()},
+//		incregraph.WithRanks(8),
+//		incregraph.WithBatchSize(512),
+//	)
+type Option func(*Config)
+
+// WithRanks sets the number of shared-nothing event-loop goroutines
+// (default 1).
+func WithRanks(n int) Option {
+	return func(c *Config) { c.Ranks = n }
+}
+
+// WithDirected disables (or, with false, re-enables) the undirected-edge
+// protocol. The default matches the paper: every edge insertion also
+// creates the reverse edge via a serialized REVERSE_ADD notification.
+func WithDirected(directed bool) Option {
+	return func(c *Config) { c.Directed = directed }
+}
+
+// WithBatchSize sets the inter-rank message batching granularity
+// (default 256).
+func WithBatchSize(n int) Option {
+	return func(c *Config) { c.BatchSize = n }
+}
+
+// WithSmallCap sets the degree threshold at which a vertex's adjacency is
+// promoted from the compact inline form to a Robin Hood hash table
+// (default 16).
+func WithSmallCap(n int) Option {
+	return func(c *Config) { c.SmallCap = n }
+}
+
+// WithWeightPolicy selects how a re-inserted edge's weight merges with the
+// stored one. Choose the policy monotone-compatible with the hooked
+// algorithms: KeepMinWeight for SSSP, KeepMaxWeight for WidestPath.
+func WithWeightPolicy(p WeightPolicy) Option {
+	return func(c *Config) { c.WeightPolicy = p }
+}
+
+// NewGraph builds a dynamic graph from functional options; it is New with
+// the Config assembled from opts. Later options override earlier ones.
+func NewGraph(programs []Program, opts ...Option) *Graph {
+	var cfg Config
+	for _, apply := range opts {
+		apply(&cfg)
+	}
+	return New(cfg, programs...)
+}
