@@ -1,13 +1,18 @@
 # Build, test, and verification entry points. `make check` is the
-# pre-commit gate: vet + build + full test suite + the lifecycle tests
-# under the race detector (-short skips only the heavy soak matrices; the
-# lifecycle stress cases always run).
+# pre-commit gate, mirroring .github/workflows/ci.yml: gofmt + vet + build
+# + full test suite + the whole module under the race detector (-short
+# skips only the heavy soak matrices; the lifecycle stress cases always
+# run).
 
 GO ?= go
 
-.PHONY: check vet build test race bench examples clean
+.PHONY: check fmt vet build test race bench examples clean
 
-check: vet build test race
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/core/
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"incregraph"
+	"incregraph/internal/metrics"
+)
+
+// startDebugServer serves the engine's observability surface on addr:
+//
+//	/debug/vars   expvar JSON, including the live EngineStats under "engine"
+//	/debug/pprof  the standard Go profiling endpoints
+//	/stats        a plaintext human summary of the same counters
+//
+// The listener is bound before returning so a bad address fails fast; the
+// serve loop runs for the life of the process (the socket dies with it).
+func startDebugServer(addr string, g *incregraph.Graph) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	}
+	expvar.Publish("engine", expvar.Func(func() any { return g.Stats() }))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeStatsSummary(w, g.Stats())
+	})
+	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+	return nil
+}
+
+// writeStatsSummary renders an EngineStats snapshot for humans, reusing the
+// harness's formatting helpers so curl output reads like paperbench tables.
+func writeStatsSummary(w http.ResponseWriter, s incregraph.EngineStats) {
+	fmt.Fprintf(w, "state:     %s\n", s.State)
+	fmt.Fprintf(w, "uptime:    %s\n", s.Uptime.Round(time.Millisecond))
+	fmt.Fprintf(w, "ingested:  %s topology events (%s)\n",
+		metrics.HumanCount(s.Ingested), metrics.HumanRate(s.EventRate()))
+	fmt.Fprintf(w, "processed: %s events (topo %s, algo %s)\n",
+		metrics.HumanCount(s.Events.Total()),
+		metrics.HumanCount(s.Events.Topo()), metrics.HumanCount(s.Events.Algo()))
+	fmt.Fprintf(w, "traffic:   %s msgs in %s flushes (batching %.1f ev/flush)\n",
+		metrics.HumanCount(s.MessagesSent), metrics.HumanCount(s.Flushes),
+		s.BatchingFactor())
+	fmt.Fprintf(w, "cascades:  %s emissions, mailbox high-water %s\n",
+		metrics.HumanCount(s.CascadeEmits), metrics.HumanCount(s.MailboxHWM))
+	fmt.Fprintf(w, "service:   %s queries, %d snapshots, parked %s\n",
+		metrics.HumanCount(s.QueriesServed), s.SnapshotsTaken,
+		s.ParkedTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "\n%-5s %10s %10s %10s %10s %8s %9s\n",
+		"rank", "topo", "algo", "sent", "drains", "hwm", "parked")
+	for _, r := range s.PerRank {
+		var sent uint64
+		for _, n := range r.SentTo {
+			sent += n
+		}
+		fmt.Fprintf(w, "%-5d %10s %10s %10s %10s %8s %9s\n",
+			r.Rank,
+			metrics.HumanCount(r.Events.Topo()),
+			metrics.HumanCount(r.Events.Algo()),
+			metrics.HumanCount(sent),
+			metrics.HumanCount(r.BatchesDrained),
+			metrics.HumanCount(r.MailboxHWM),
+			r.ParkedTime.Round(time.Millisecond))
+	}
+}

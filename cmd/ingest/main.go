@@ -45,6 +45,8 @@ func main() {
 		sources = flag.Int("sources", 1, "st: number of connectivity sources")
 		src     = flag.Uint64("source", 0, "bfs/sssp source vertex (default: largest component)")
 		verify  = flag.Bool("verify", false, "check converged state against the static baseline")
+		dbgAddr = flag.String("debug.addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof), and a plaintext /stats summary on this address (e.g. localhost:6060)")
+		traceN  = flag.Int("trace", 0, "keep a per-rank ring of the last N events for postmortem debugging")
 	)
 	flag.Parse()
 
@@ -73,9 +75,18 @@ func main() {
 	if prog != nil {
 		programs = append(programs, prog)
 	}
-	g := incregraph.NewGraph(programs, incregraph.WithRanks(*ranks))
+	g := incregraph.NewGraph(programs,
+		incregraph.WithRanks(*ranks),
+		incregraph.WithTraceDepth(*traceN),
+	)
 	for _, v := range inits {
 		g.InitVertex(0, v)
+	}
+	if *dbgAddr != "" {
+		if err := startDebugServer(*dbgAddr, g); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug: serving /debug/vars, /debug/pprof, /stats on http://%s\n", *dbgAddr)
 	}
 
 	// Graceful shutdown: a first interrupt stops the engine at a quiescent
@@ -118,6 +129,11 @@ func main() {
 	}
 	fmt.Printf("ingested: %s\n", stats)
 	fmt.Printf("rate: %s (topology events)\n", metrics.HumanRate(stats.EventsPerSec))
+	es := g.Stats()
+	fmt.Printf("engine: %s msgs in %s flushes (%.1f ev/flush), %s cascade emissions, mailbox hwm %s\n",
+		metrics.HumanCount(es.MessagesSent), metrics.HumanCount(es.Flushes),
+		es.BatchingFactor(), metrics.HumanCount(es.CascadeEmits),
+		metrics.HumanCount(es.MailboxHWM))
 	if interrupted.Load() {
 		// The stopped state is a consistent prefix of the stream, but not
 		// the full dataset: skip the whole-input verification.

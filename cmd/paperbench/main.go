@@ -34,9 +34,10 @@ var experiments = map[string]func(harness.Config) *harness.Table{
 	"ablations": harness.Ablations,
 	"batching":  harness.Batching,
 	"latency":   harness.Latency,
+	"counters":  harness.Counters,
 }
 
-var order = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "batching", "latency"}
+var order = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "batching", "latency", "counters"}
 
 func main() {
 	fs := flag.NewFlagSet("paperbench", flag.ExitOnError)

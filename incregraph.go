@@ -26,6 +26,16 @@ type (
 	Ctx = core.Ctx
 	// Stats summarizes a run.
 	Stats = core.Stats
+	// EngineStats is an on-demand aggregate of the engine's live counters
+	// (see Graph.Stats).
+	EngineStats = core.EngineStats
+	// RankEngineStats is one rank's share of an EngineStats snapshot.
+	RankEngineStats = core.RankEngineStats
+	// EventCounts breaks processed events down by kind.
+	EventCounts = core.EventCounts
+	// TraceEntry is one retained event of the postmortem trace ring (see
+	// WithTraceDepth and Graph.Trace).
+	TraceEntry = core.TraceEntry
 	// VertexValue pairs a vertex with its algorithm state.
 	VertexValue = core.VertexValue
 	// QueryResult is the answer to a local-state observation.
@@ -85,6 +95,10 @@ type Config struct {
 	// monotone-compatible with the hooked algorithms: KeepMinWeight for
 	// SSSP, KeepMaxWeight for WidestPath.
 	WeightPolicy WeightPolicy
+	// TraceDepth, when positive, keeps a bounded per-rank ring of the last
+	// TraceDepth processed events for postmortem debugging (see
+	// Graph.Trace). Zero disables tracing.
+	TraceDepth int
 }
 
 // WeightPolicy re-exports the duplicate-weight merge rules.
@@ -120,6 +134,7 @@ func New(cfg Config, programs ...Program) *Graph {
 		BatchSize:    cfg.BatchSize,
 		SmallCap:     cfg.SmallCap,
 		WeightPolicy: cfg.WeightPolicy,
+		TraceDepth:   cfg.TraceDepth,
 	}, programs...)}
 }
 
@@ -232,6 +247,22 @@ func (g *Graph) Drain(streams ...*LiveStream) {
 	}
 	g.eng.WaitDrained(func() uint64 { return pushed })
 }
+
+// Stats aggregates the engine's live per-rank counters into a point-in-time
+// EngineStats snapshot: events processed by kind, inter-rank traffic,
+// mailbox high-water marks, cascade emissions, control-plane service
+// counts, and pause-barrier time. It is legal in every lifecycle state —
+// Idle, Running, mid-Pause, Paused, Stopped — and never blocks event
+// processing; each counter is individually exact, but the set is only a
+// consistent cut when the graph is quiescent. (Wait's Stats remains the
+// end-of-run summary; this is the live view.)
+func (g *Graph) Stats() EngineStats { return g.eng.EngineStats() }
+
+// Trace returns the retained entries of the per-rank postmortem event
+// rings (enable with Config.TraceDepth or WithTraceDepth; nil when
+// disabled). Like Collect it requires the graph to be paused, stopped, or
+// not yet started.
+func (g *Graph) Trace() []TraceEntry { return g.eng.Trace() }
 
 // Ranks returns the configured rank count.
 func (g *Graph) Ranks() int { return g.eng.Ranks() }

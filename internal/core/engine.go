@@ -41,6 +41,10 @@ type Options struct {
 	// algorithmic events over ingestion (the latency/ingest-rate tradeoff
 	// of §V-C). Kept as an ablation knob.
 	IngestFirst bool
+	// TraceDepth, when positive, keeps a bounded per-rank ring of the last
+	// TraceDepth processed events for postmortem debugging (see Trace).
+	// Zero (the default) disables tracing entirely.
+	TraceDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,9 +114,13 @@ type Engine struct {
 	// was built from (zero if built fresh).
 	loadedMeta CheckpointMeta
 
-	startTime time.Time
-	stats     Stats
-	statsOnce sync.Once
+	// snapRequests counts SnapshotAsync calls (EngineStats.SnapshotsTaken).
+	snapRequests atomic.Uint64
+	// startNanos is Start's wall-clock time in UnixNano (0 before Start);
+	// atomic so EngineStats can read it concurrently with Start.
+	startNanos atomic.Int64
+	stats      Stats
+	statsOnce  sync.Once
 }
 
 // New builds an engine hosting the given programs. Multiple programs
@@ -166,7 +174,7 @@ func (e *Engine) Start(streams []stream.Stream) error {
 	}
 	e.state.Store(int32(StateRunning))
 	e.streamsLeft.Store(int32(len(e.ranks)))
-	e.startTime = time.Now()
+	e.startNanos.Store(time.Now().UnixNano())
 	for i, r := range e.ranks {
 		if i < len(streams) && streams[i] != nil {
 			r.stream = streams[i]
@@ -210,20 +218,21 @@ func (e *Engine) Wait() Stats {
 	e.wg.Wait()
 	e.statsOnce.Do(func() {
 		s := Stats{Ranks: e.opts.Ranks}
-		if !e.startTime.IsZero() {
-			s.Duration = time.Since(e.startTime)
+		if start := e.startNanos.Load(); start != 0 {
+			s.Duration = time.Duration(time.Now().UnixNano() - start)
 		}
-		for _, r := range e.ranks {
+		for i, r := range e.ranks {
+			ev := r.counters.snapshot(i, 0).Events
 			rs := RankStats{
-				TopoEvents: r.topoEvents,
-				AlgoEvents: r.algoEvents,
+				TopoEvents: ev.Topo(),
+				AlgoEvents: ev.Algo(),
 				Vertices:   r.store.NumVertices(),
 				Edges:      r.store.NumEdges(),
 			}
 			s.PerRank = append(s.PerRank, rs)
 			s.TopoEvents += rs.TopoEvents
 			s.AlgoEvents += rs.AlgoEvents
-			s.TotalEvents += r.processed
+			s.TotalEvents += ev.Total()
 			s.Vertices += rs.Vertices
 			s.Edges += rs.Edges
 		}

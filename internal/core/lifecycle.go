@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // The engine lifecycle (the control plane the paper's batch-job prototype
@@ -55,6 +56,10 @@ func (s State) String() string {
 		return fmt.Sprintf("state(%d)", int32(s))
 	}
 }
+
+// MarshalText renders the state name, so JSON consumers of EngineStats
+// (e.g. the expvar endpoint) see "running" rather than a bare integer.
+func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
 // ErrStopped is returned by lifecycle transitions attempted on an engine
 // that has already terminated.
@@ -278,7 +283,11 @@ func (r *rank) park() {
 	gate := e.resumeGate()
 	e.parked.Add(1)
 	e.signalQuiesce()
-	defer e.parked.Add(-1)
+	t0 := time.Now()
+	defer func() {
+		r.counters.parkedNanos.Add(time.Since(t0).Nanoseconds())
+		e.parked.Add(-1)
+	}()
 	for {
 		select {
 		case <-gate:

@@ -257,7 +257,7 @@ func TestLifecycleStopAndIdempotence(t *testing.T) {
 	if !e.Quiescent() {
 		t.Fatal("Stop left in-flight events")
 	}
-	e.Wait()        // returns immediately: every rank goroutine released
+	e.Wait()         // returns immediately: every rank goroutine released
 	_ = e.Collect(0) // post-stop reads observe the quiescent final state
 	if err := e.Stop(ctx); err != nil {
 		t.Fatalf("double Stop: %v", err)

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // mailbox is a rank's inbound event queue. Senders append batches under a
 // short critical section; appends are atomic, so events from any single
@@ -17,6 +20,9 @@ type mailbox struct {
 	wake chan struct{}
 	// spare recycles the previously-drained slice to avoid reallocation.
 	spare []Event
+	// hwm is the deepest the queue has ever been. Written only under mu
+	// (push), read lock-free by EngineStats.
+	hwm atomic.Uint64
 }
 
 func newMailbox() *mailbox {
@@ -30,6 +36,9 @@ func (m *mailbox) push(batch []Event) {
 	}
 	m.mu.Lock()
 	m.queue = append(m.queue, batch...)
+	if n := uint64(len(m.queue)); n > m.hwm.Load() {
+		m.hwm.Store(n)
+	}
 	m.mu.Unlock()
 	m.poke()
 }
@@ -62,16 +71,21 @@ func (m *mailbox) drain() []Event {
 	return q
 }
 
-// recycle returns a drained slice for reuse.
+// recycle returns a drained slice for reuse. The storage is routed to
+// whichever buffer has no capacity of its own: preferentially the live
+// queue (so concurrent pushes append in place instead of allocating — after
+// a drain that found no spare, queue is nil), otherwise the spare slot.
+// Only when both already hold capacity is the slice dropped.
 func (m *mailbox) recycle(batch []Event) {
 	if cap(batch) == 0 {
 		return
 	}
 	m.mu.Lock()
-	if m.spare == nil {
-		m.spare = batch[:0]
-	} else if m.queue == nil {
+	switch {
+	case cap(m.queue) == 0 && len(m.queue) == 0:
 		m.queue = batch[:0]
+	case cap(m.spare) == 0:
+		m.spare = batch[:0]
 	}
 	m.mu.Unlock()
 }
@@ -89,3 +103,8 @@ func (m *mailbox) wait(done <-chan struct{}) {
 // mailbox activity together with its lifecycle resume gate. Receiving from
 // it consumes the pending token, exactly like wait.
 func (m *mailbox) wakeChan() <-chan struct{} { return m.wake }
+
+// highWater returns the deepest the queue has ever been — a saturation
+// indicator: a high-water mark near the total event count means one rank
+// fell far behind its senders.
+func (m *mailbox) highWater() uint64 { return m.hwm.Load() }

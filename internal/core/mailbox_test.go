@@ -71,6 +71,75 @@ func TestMailboxSenderFIFO(t *testing.T) {
 	}
 }
 
+// TestMailboxRecycleReusesStorage pins the steady-state allocation
+// behaviour: once warmed, a push/drain/recycle cycle must not allocate —
+// recycle routes the drained storage back to whichever buffer has no
+// capacity (the live queue first, so the very next push appends in place).
+func TestMailboxRecycleReusesStorage(t *testing.T) {
+	m := newMailbox()
+	batch := make([]Event, 64)
+	cycle := func() {
+		m.push(batch)
+		got := m.drain()
+		if got == nil {
+			t.Fatal("drain returned nil after push")
+		}
+		m.recycle(got)
+	}
+	cycle() // warm: the first push allocates the one long-lived buffer
+	if allocs := testing.AllocsPerRun(200, cycle); allocs > 0 {
+		t.Fatalf("steady-state push/drain/recycle allocates %.1f times per cycle", allocs)
+	}
+}
+
+// TestMailboxRecycleRouting covers the three routing cases directly.
+func TestMailboxRecycleRouting(t *testing.T) {
+	m := newMailbox()
+	buf := make([]Event, 0, 8)
+
+	// Queue empty with no capacity: storage goes to the queue.
+	m.recycle(buf)
+	if cap(m.queue) != 8 || m.spare != nil {
+		t.Fatalf("recycle into empty mailbox: queue cap %d spare %v", cap(m.queue), m.spare)
+	}
+
+	// Queue already has capacity: storage goes to the spare slot.
+	other := make([]Event, 0, 4)
+	m.recycle(other)
+	if cap(m.spare) != 4 {
+		t.Fatalf("recycle with live queue: spare cap %d, want 4", cap(m.spare))
+	}
+
+	// Both held: the slice is dropped, and crucially a non-empty queue is
+	// never overwritten.
+	m.push([]Event{{To: 7}})
+	m.recycle(make([]Event, 0, 16))
+	if got := m.drain(); len(got) != 1 || got[0].To != 7 {
+		t.Fatalf("recycle clobbered queued events: %+v", got)
+	}
+
+	// Zero-capacity slices are ignored outright.
+	m2 := newMailbox()
+	m2.recycle(nil)
+	if m2.queue != nil || m2.spare != nil {
+		t.Fatal("recycle(nil) touched the mailbox")
+	}
+}
+
+func TestMailboxHighWater(t *testing.T) {
+	m := newMailbox()
+	if m.highWater() != 0 {
+		t.Fatalf("fresh mailbox hwm = %d", m.highWater())
+	}
+	m.push(make([]Event, 3))
+	m.push(make([]Event, 2)) // depth 5
+	m.recycle(m.drain())
+	m.push(make([]Event, 4)) // depth 4 < 5: hwm unchanged
+	if m.highWater() != 5 {
+		t.Fatalf("hwm = %d, want 5", m.highWater())
+	}
+}
+
 func TestMailboxWakeOnPush(t *testing.T) {
 	m := newMailbox()
 	done := make(chan struct{})

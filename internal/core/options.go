@@ -62,6 +62,15 @@ func WithIngestFirst(ingestFirst bool) Option {
 	return func(o *Options) { o.IngestFirst = ingestFirst }
 }
 
+// WithTraceDepth keeps a bounded per-rank ring of the last n processed
+// events for postmortem debugging of cascade bugs (read it with
+// Engine.Trace once the engine is paused or stopped). Zero disables
+// tracing, which is the default — a disabled ring costs the hot path one
+// nil check.
+func WithTraceDepth(n int) Option {
+	return func(o *Options) { o.TraceDepth = n }
+}
+
 // NewWith builds an engine from functional options; it is New with the
 // Options struct assembled from opts. Later options override earlier ones.
 func NewWith(programs []Program, opts ...Option) *Engine {

@@ -47,10 +47,11 @@ type rank struct {
 	// child emissions), so the counters can never falsely reach zero.
 	pendingDec [4]int64
 
-	// Statistics (owned by the rank; read after termination).
-	topoEvents uint64
-	algoEvents uint64
-	processed  uint64
+	// counters is the rank's always-on instrumentation block (written only
+	// by this rank, read by EngineStats from anywhere); trace is the
+	// optional postmortem event ring (nil unless Options.TraceDepth > 0).
+	counters *rankCounters
+	trace    *traceRing
 }
 
 type queryReq struct {
@@ -61,11 +62,13 @@ type queryReq struct {
 
 func newRank(e *Engine, id int) *rank {
 	r := &rank{
-		id:    id,
-		eng:   e,
-		store: graph.NewStore(e.opts.SmallCap),
-		inbox: newMailbox(),
-		out:   make([][]Event, e.opts.Ranks),
+		id:       id,
+		eng:      e,
+		store:    graph.NewStore(e.opts.SmallCap),
+		inbox:    newMailbox(),
+		out:      make([][]Event, e.opts.Ranks),
+		counters: newRankCounters(e.opts.Ranks),
+		trace:    newTraceRing(e.opts.TraceDepth),
 	}
 	r.store.SetWeightPolicy(e.opts.WeightPolicy)
 	r.values = make([][]uint64, len(e.programs))
@@ -93,6 +96,7 @@ func (r *rank) loop() {
 		}
 
 		if batch := r.inbox.drain(); batch != nil {
+			r.counters.batchesDrained.Add(1)
 			for i := range batch {
 				r.process(&batch[i])
 			}
@@ -201,6 +205,7 @@ func (r *rank) pullStream() bool {
 // increment happens before the parent's (batched) decrement, so the ring
 // counter cannot falsely reach zero.
 func (r *rank) emit(ev Event) {
+	r.counters.cascadeEmits.Add(1)
 	r.eng.inflight[ev.Seq&3].Add(1)
 	r.send(ev)
 }
@@ -217,6 +222,10 @@ func (r *rank) flush(dest int) {
 	if len(r.out[dest]) == 0 {
 		return
 	}
+	// Counted at flush, not per send: one pair of adds amortized over the
+	// whole outbound batch.
+	r.counters.sentTo[dest].Add(uint64(len(r.out[dest])))
+	r.counters.flushesTo[dest].Add(1)
 	r.eng.ranks[dest].inbox.push(r.out[dest])
 	r.out[dest] = r.out[dest][:0]
 }
@@ -265,9 +274,14 @@ func (r *rank) setPrevValue(algo uint8, slot graph.Slot, v uint64) {
 }
 
 // process dispatches one event. The in-flight decrement is batched in
-// pendingDec and applied by the caller after the whole batch.
+// pendingDec and applied by the caller after the whole batch. The per-kind
+// counter add is the hot path's entire instrumentation cost: one
+// uncontended atomic add on a rank-owned cache line.
 func (r *rank) process(ev *Event) {
-	r.processed++
+	r.counters.events[ev.Kind].Add(1)
+	if r.trace != nil {
+		r.trace.record(r.id, ev)
+	}
 	if r.eng.activeSnap.Load() != nil {
 		// Must copy the previous-version state before applying any event
 		// once a snapshot is active (old events would double-apply via
@@ -276,25 +290,18 @@ func (r *rank) process(ev *Event) {
 	}
 	switch ev.Kind {
 	case KindAdd:
-		r.topoEvents++
 		r.handleAdd(ev)
 	case KindReverseAdd:
-		r.algoEvents++
 		r.handleReverseAdd(ev)
 	case KindUpdate:
-		r.algoEvents++
 		r.handleUpdate(ev)
 	case KindInit:
-		r.algoEvents++
 		r.handleInit(ev)
 	case KindDelete:
-		r.topoEvents++
 		r.handleDelete(ev)
 	case KindReverseDelete:
-		r.algoEvents++
 		r.handleReverseDelete(ev)
 	case KindSignal:
-		r.algoEvents++
 		r.handleSignal(ev)
 	}
 	r.pendingDec[ev.Seq&3]++
@@ -476,6 +483,9 @@ func (r *rank) drainQueries() {
 	qs := r.queries
 	r.queries = nil
 	r.qmu.Unlock()
+	if len(qs) > 0 {
+		r.counters.queriesServed.Add(uint64(len(qs)))
+	}
 	for _, q := range qs {
 		res := QueryResult{}
 		if slot, ok := r.store.SlotOf(q.v); ok {

@@ -10,8 +10,8 @@ import (
 // algorithms live in internal/algo, which imports this package).
 type stubProg struct{}
 
-func (stubProg) Init(*Ctx)                                        {}
-func (stubProg) OnAdd(*Ctx, graph.VertexID, graph.Weight)         {}
+func (stubProg) Init(*Ctx)                                               {}
+func (stubProg) OnAdd(*Ctx, graph.VertexID, graph.Weight)                {}
 func (stubProg) OnReverseAdd(*Ctx, graph.VertexID, uint64, graph.Weight) {}
 func (stubProg) OnUpdate(*Ctx, graph.VertexID, uint64, graph.Weight)     {}
 

@@ -48,6 +48,7 @@ type Snapshot struct {
 // engine is quiescent the snapshot finalizes without resuming ingestion.
 func (e *Engine) SnapshotAsync(algo int) *Snapshot {
 	e.checkAlgo(algo)
+	e.snapRequests.Add(1)
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
 	if prev := e.activeSnap.Load(); prev != nil {
@@ -181,6 +182,7 @@ func (r *rank) snapshotChores() {
 		return
 	}
 	r.contributed = true
+	r.counters.snapshotParts.Add(1)
 	prev := r.prevValues[snap.Algo]
 	part := make([]VertexValue, 0, len(prev))
 	for slot := 0; slot < len(prev); slot++ {

@@ -1,0 +1,91 @@
+package core
+
+import "incregraph/internal/graph"
+
+// Per-rank event trace ring: an opt-in postmortem aid for cascade bugs.
+// Each rank owns a fixed-size ring and records every event it processes;
+// the ring is bounded, so a multi-hour live run keeps only the last N
+// events per rank. Recording is branch-plus-store cheap (no locks, no
+// allocation after construction) and entirely absent from the hot path
+// when the option is off (nil ring).
+
+// TraceEntry records one processed event for postmortem inspection.
+type TraceEntry struct {
+	// Rank is the rank that processed the event; Order is that rank's
+	// monotone processing index (entries of different ranks are only
+	// ordered by the happens-before of their message edges, not by Order).
+	Rank  int
+	Order uint64
+	// Kind, Algo, To, From, Val, and Seq mirror the processed Event.
+	Kind Kind
+	Algo uint8
+	Seq  uint32
+	To   graph.VertexID
+	From graph.VertexID
+	Val  uint64
+}
+
+// traceRing is a bounded per-rank event log. Only the owning rank writes
+// it; it is read via Engine.Trace once the engine is inspectable.
+type traceRing struct {
+	buf  []TraceEntry
+	next uint64 // total events recorded; buf[next%len] is the write slot
+}
+
+func newTraceRing(depth int) *traceRing {
+	if depth <= 0 {
+		return nil
+	}
+	return &traceRing{buf: make([]TraceEntry, depth)}
+}
+
+func (t *traceRing) record(rank int, ev *Event) {
+	t.buf[t.next%uint64(len(t.buf))] = TraceEntry{
+		Rank:  rank,
+		Order: t.next,
+		Kind:  ev.Kind,
+		Algo:  ev.Algo,
+		Seq:   ev.Seq,
+		To:    ev.To,
+		From:  ev.From,
+		Val:   ev.Val,
+	}
+	t.next++
+}
+
+// dump returns the retained entries, oldest first.
+func (t *traceRing) dump() []TraceEntry {
+	n := t.next
+	depth := uint64(len(t.buf))
+	out := make([]TraceEntry, 0, min(n, depth))
+	start := uint64(0)
+	if n > depth {
+		start = n - depth
+	}
+	for i := start; i < n; i++ {
+		out = append(out, t.buf[i%depth])
+	}
+	return out
+}
+
+// Trace returns every rank's retained trace entries (oldest first per rank,
+// ranks concatenated in order), or nil if tracing was not enabled via
+// WithTraceDepth. Like Collect, it may only be called when no rank
+// goroutine is mutating state — before Start, while Paused, or after
+// termination — because the rings are written lock-free by their owners.
+func (e *Engine) Trace() []TraceEntry {
+	if !e.mayInspect() {
+		panic("core: Trace during a run; Pause first")
+	}
+	var out []TraceEntry
+	for _, r := range e.ranks {
+		if r.trace != nil {
+			out = append(out, r.trace.dump()...)
+		}
+	}
+	return out
+}
+
+// TraceDepth returns the configured per-rank trace-ring depth (0 when
+// tracing is off).
+func (e *Engine) TraceDepth() int { return e.opts.TraceDepth }

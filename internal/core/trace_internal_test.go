@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"incregraph/internal/graph"
+)
+
+func TestTraceRingWrap(t *testing.T) {
+	if newTraceRing(0) != nil || newTraceRing(-1) != nil {
+		t.Fatal("non-positive depth must disable the ring")
+	}
+	r := newTraceRing(4)
+	for i := 0; i < 3; i++ {
+		r.record(0, &Event{To: graph.VertexID(i), Kind: KindAdd})
+	}
+	got := r.dump()
+	if len(got) != 3 || got[0].To != 0 || got[2].To != 2 {
+		t.Fatalf("partial ring dump = %+v", got)
+	}
+	for i := 3; i < 11; i++ {
+		r.record(0, &Event{To: graph.VertexID(i), Kind: KindAdd})
+	}
+	got = r.dump()
+	if len(got) != 4 {
+		t.Fatalf("wrapped ring retained %d entries, want 4", len(got))
+	}
+	for i, en := range got {
+		if want := uint64(7 + i); uint64(en.To) != want || en.Order != want {
+			t.Fatalf("entry %d = %+v, want To/Order %d (oldest-first tail)", i, en, want)
+		}
+	}
+}

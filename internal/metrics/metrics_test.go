@@ -62,6 +62,69 @@ func TestHumanBytes(t *testing.T) {
 	}
 }
 
+// Boundary values for the human formatters: zero, the last value before
+// each unit switch, and the exact switch points (1e3, 1e6, 1e9 for the
+// decimal formatters; powers of two for bytes).
+func TestHumanRateBoundaries(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 ev/s"},
+		{999, "999 ev/s"},
+		{1e3, "1.0K ev/s"},
+		{999_999, "1000.0K ev/s"},
+		{1e6, "1.0M ev/s"},
+		{1e9, "1.00B ev/s"},
+	}
+	for _, c := range cases {
+		if got := HumanRate(c.in); got != c.want {
+			t.Errorf("HumanRate(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHumanCountBoundaries(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1.0K"},
+		{999_999, "1000.0K"},
+		{1_000_000, "1.0M"},
+		{1_000_000_000, "1.00B"},
+	}
+	for _, c := range cases {
+		if got := HumanCount(c.in); got != c.want {
+			t.Errorf("HumanCount(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHumanBytesBoundaries(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{0, "0 B"},
+		{999, "999 B"},
+		{1000, "1000 B"}, // decimal 1e3 is still below the binary KB line
+		{1023, "1023 B"},
+		{1 << 10, "1.0 KB"},
+		{1_000_000, "976.6 KB"},
+		{1 << 20, "1.0 MB"},
+		{1_000_000_000, "953.7 MB"},
+		{1 << 30, "1.0 GB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.in); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	if s := Summarize(nil); s.N != 0 || s.String() != "no samples" {
 		t.Fatalf("empty summary = %+v", s)

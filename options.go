@@ -45,6 +45,13 @@ func WithWeightPolicy(p WeightPolicy) Option {
 	return func(c *Config) { c.WeightPolicy = p }
 }
 
+// WithTraceDepth keeps a bounded per-rank ring of the last n processed
+// events for postmortem debugging (read it with Graph.Trace while the
+// graph is paused or stopped). Zero — the default — disables tracing.
+func WithTraceDepth(n int) Option {
+	return func(c *Config) { c.TraceDepth = n }
+}
+
 // NewGraph builds a dynamic graph from functional options; it is New with
 // the Config assembled from opts. Later options override earlier ones.
 func NewGraph(programs []Program, opts ...Option) *Graph {
