@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench examples clean
+.PHONY: check fmt vet build test race bench bench-json examples clean
 
 check: fmt vet build test race
 
@@ -28,6 +28,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Machine-readable Figure 5 sweep (quick sizes), the artifact CI uploads
+# so the perf trajectory — ev/s plus self-delivery and coalescing
+# counters — is diffable across PRs.
+bench-json:
+	$(GO) run ./cmd/paperbench bench -quick -json BENCH_PR3.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -53,6 +53,8 @@ func runSaturated(b *testing.B, edges []graph.Edge, ranks int, prog core.Program
 	b.ReportMetric(lastRate, "ev/s")
 	if topo := lastES.Events.Topo(); topo > 0 {
 		b.ReportMetric(float64(lastES.Events.Total())/float64(topo), "events/topo-ev")
+		b.ReportMetric(float64(lastES.CombinedAway)/float64(topo), "combined/topo-ev")
+		b.ReportMetric(float64(lastES.SelfDelivered)/float64(topo), "self/topo-ev")
 	}
 	b.ReportMetric(lastES.BatchingFactor(), "ev/flush")
 }

@@ -54,23 +54,27 @@ func writeStatsSummary(w http.ResponseWriter, s incregraph.EngineStats) {
 	fmt.Fprintf(w, "traffic:   %s msgs in %s flushes (batching %.1f ev/flush)\n",
 		metrics.HumanCount(s.MessagesSent), metrics.HumanCount(s.Flushes),
 		s.BatchingFactor())
+	fmt.Fprintf(w, "fastpath:  %s self-delivered, %s updates combined away\n",
+		metrics.HumanCount(s.SelfDelivered), metrics.HumanCount(s.CombinedAway))
 	fmt.Fprintf(w, "cascades:  %s emissions, mailbox high-water %s\n",
 		metrics.HumanCount(s.CascadeEmits), metrics.HumanCount(s.MailboxHWM))
 	fmt.Fprintf(w, "service:   %s queries, %d snapshots, parked %s\n",
 		metrics.HumanCount(s.QueriesServed), s.SnapshotsTaken,
 		s.ParkedTime.Round(time.Millisecond))
-	fmt.Fprintf(w, "\n%-5s %10s %10s %10s %10s %8s %9s\n",
-		"rank", "topo", "algo", "sent", "drains", "hwm", "parked")
+	fmt.Fprintf(w, "\n%-5s %10s %10s %10s %10s %10s %10s %8s %9s\n",
+		"rank", "topo", "algo", "sent", "self", "combined", "drains", "hwm", "parked")
 	for _, r := range s.PerRank {
 		var sent uint64
 		for _, n := range r.SentTo {
 			sent += n
 		}
-		fmt.Fprintf(w, "%-5d %10s %10s %10s %10s %8s %9s\n",
+		fmt.Fprintf(w, "%-5d %10s %10s %10s %10s %10s %10s %8s %9s\n",
 			r.Rank,
 			metrics.HumanCount(r.Events.Topo()),
 			metrics.HumanCount(r.Events.Algo()),
 			metrics.HumanCount(sent),
+			metrics.HumanCount(r.SelfDelivered),
+			metrics.HumanCount(r.CombinedAway),
 			metrics.HumanCount(r.BatchesDrained),
 			metrics.HumanCount(r.MailboxHWM),
 			r.ParkedTime.Round(time.Millisecond))

@@ -8,6 +8,7 @@
 //	paperbench all
 //	paperbench fig5 -scale 15 -ranks 1,2,4,8
 //	paperbench fig7 -quick
+//	paperbench bench -quick -json BENCH_PR3.json
 //
 // Absolute rates will not match the authors' 3,072-core Catalyst cluster;
 // the reproduction target is the shape of each comparison, which every
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,8 +47,9 @@ func main() {
 	ef := fs.Int("ef", 0, "edge factor (0 = default 16)")
 	ranksFlag := fs.String("ranks", "", "comma-separated rank sweep (default 1,2,4,...,NumCPU)")
 	quickFlag := fs.Bool("quick", false, "tiny sizes (smoke test)")
+	jsonOut := fs.String("json", "", "bench only: write the machine-readable report to this file (default stdout)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paperbench {all|%s} [flags]\n", strings.Join(order, "|"))
+		fmt.Fprintf(os.Stderr, "usage: paperbench {all|bench|%s} [flags]\n", strings.Join(order, "|"))
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -68,6 +71,29 @@ func main() {
 			}
 			cfg.Ranks = append(cfg.Ranks, r)
 		}
+	}
+
+	// `bench` is the machine-readable counterpart of fig5: the same sweep,
+	// emitted as JSON (BENCH_PR3.json in CI) so the perf trajectory — event
+	// rates plus the self-delivery and coalescing counters — is diffable
+	// across PRs instead of locked in prose tables.
+	if which == "bench" {
+		data, err := json.MarshalIndent(harness.BenchJSON(cfg), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d results)\n", *jsonOut, strings.Count(string(data), `"dataset"`))
+		return
 	}
 
 	run := func(name string) {

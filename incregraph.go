@@ -99,6 +99,11 @@ type Config struct {
 	// TraceDepth processed events for postmortem debugging (see
 	// Graph.Trace). Zero disables tracing.
 	TraceDepth int
+	// NoCoalesce disables monotone update coalescing (the Pregel-style
+	// combiner the engine applies to programs that support it). Converged
+	// results are identical either way; the knob exists for ablation and
+	// debugging.
+	NoCoalesce bool
 }
 
 // WeightPolicy re-exports the duplicate-weight merge rules.
@@ -135,6 +140,7 @@ func New(cfg Config, programs ...Program) *Graph {
 		SmallCap:     cfg.SmallCap,
 		WeightPolicy: cfg.WeightPolicy,
 		TraceDepth:   cfg.TraceDepth,
+		NoCoalesce:   cfg.NoCoalesce,
 	}, programs...)}
 }
 

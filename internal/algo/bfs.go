@@ -87,3 +87,7 @@ func (b BFS) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w grap
 		ctx.UpdateNbr(from, cur)
 	}
 }
+
+// Combine implements core.Combiner: of two same-weight level offers to one
+// vertex, the lower subsumes the higher (Unset means "no path offered").
+func (BFS) Combine(old, new uint64) uint64 { return combineMin(old, new) }

@@ -65,3 +65,7 @@ func (CC) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w graph.W
 		ctx.UpdateNbrs(fromVal)
 	}
 }
+
+// Combine implements core.Combiner: the smaller component label subsumes
+// the larger (Unset means "no label carried" and any real label wins).
+func (CC) Combine(old, new uint64) uint64 { return combineMin(old, new) }

@@ -1,0 +1,24 @@
+package algo
+
+import "incregraph/internal/core"
+
+// Combiner hooks (core.Combiner): the engine may merge two buffered UPDATE
+// values bound for the same vertex (same snapshot sequence and edge
+// weight) into one. For the min-convergent programs the merge is "keep the
+// lower value", with core.Unset normalized to "no information": an Unset
+// fromVal means the sender had nothing to offer (BFS/SSSP) or no label yet
+// (CC — whose OnUpdate treats Unset exactly like a worse label), so any
+// real value must win the merge.
+func combineMin(old, new uint64) uint64 {
+	if normUnset(new) < normUnset(old) {
+		return new
+	}
+	return old
+}
+
+func normUnset(v uint64) uint64 {
+	if v == core.Unset {
+		return core.Infinity
+	}
+	return v
+}

@@ -59,3 +59,8 @@ func (s SSSP) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w gra
 		ctx.UpdateNbr(from, cur)
 	}
 }
+
+// Combine implements core.Combiner: of two distance offers to one vertex
+// across the same edge weight, the cheaper subsumes the costlier (Unset
+// means "no path offered").
+func (SSSP) Combine(old, new uint64) uint64 { return combineMin(old, new) }

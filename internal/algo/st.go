@@ -86,3 +86,7 @@ func (m *MultiST) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w
 		ctx.UpdateNbrs(union)
 	}
 }
+
+// Combine implements core.Combiner: connectivity bitmaps merge by union,
+// which subsumes delivering each set separately.
+func (*MultiST) Combine(old, new uint64) uint64 { return old | new }

@@ -69,3 +69,13 @@ func (wd Widest) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w 
 		}
 	}
 }
+
+// Combine implements core.Combiner: of two width offers across the same
+// edge weight, the wider subsumes the narrower (Unset, zero, is the
+// identity).
+func (Widest) Combine(old, new uint64) uint64 {
+	if new > old {
+		return new
+	}
+	return old
+}

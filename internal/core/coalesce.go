@@ -1,0 +1,128 @@
+package core
+
+import "incregraph/internal/graph"
+
+// Monotone update coalescing (the Pregel-style combiner, made sound by the
+// REMO contract — see DESIGN.md "Combining is sound for REMO"): UPDATE
+// events parked in a rank's outbound buffers (or its self-delivery ring)
+// that share (Algo, To, Seq, W) are merged down to the single best value
+// via the program's Combine hook, before they ever cross the rank
+// boundary. Only KindUpdate is ever combined; every other kind acts as a
+// coalescing barrier on its destination buffer, so FIFO-dependent ordering
+// (reverse-add serialization) and snapshot-version accounting stay exact.
+//
+// W is part of the key because OnUpdate consumes (fromVal, w) jointly —
+// e.g. SSSP's candidate is fromVal+w — so merging across different edge
+// weights could suppress the true minimum candidate. With equal W, keeping
+// the Combine-preferred value preserves every candidate the merged events
+// could have produced.
+
+// combineFunc merges two UPDATE values addressed to the same vertex under
+// the same (Algo, Seq, W); it is a Program's Combine method.
+type combineFunc func(old, new uint64) uint64
+
+// coalEntry is one direct-mapped cache entry remembering where the most
+// recent combinable UPDATE for a key sits in an outbound buffer.
+type coalEntry struct {
+	to    graph.VertexID
+	seq   uint32
+	epoch uint32
+	pos   int32
+	dest  int32
+	w     graph.Weight
+	algo  uint8
+	live  bool
+}
+
+// coalescer is a rank's coalescing index: a fixed-size direct-mapped,
+// lossy cache over the rank's outbound buffers. Lossy is fine — a
+// collision or stale entry just means that update is not combined, which
+// is always correct. Entries are invalidated wholesale per destination by
+// bumping the destination's epoch: on every flush, on every non-UPDATE
+// append (the barrier), and on every self-ring reset.
+type coalescer struct {
+	combine []combineFunc // per-program Combine hook; nil = never combined
+	epochs  []uint32      // per destination rank (the rank's own id = self ring)
+	table   []coalEntry   // nil when no hooked program has a combiner
+	mask    uint32
+}
+
+// coalesceTableSize is the per-rank entry count of the direct-mapped
+// index (must be a power of two). 1024 entries ≈ 32 KiB per rank.
+const coalesceTableSize = 1024
+
+func newCoalescer(combine []combineFunc, ranks int) *coalescer {
+	c := &coalescer{combine: combine, epochs: make([]uint32, ranks)}
+	for _, fn := range combine {
+		if fn != nil {
+			c.table = make([]coalEntry, coalesceTableSize)
+			c.mask = coalesceTableSize - 1
+			break
+		}
+	}
+	return c
+}
+
+// combinable reports whether UPDATEs of this program may be coalesced.
+func (c *coalescer) combinable(algo uint8) bool {
+	return c.table != nil && int(algo) < len(c.combine) && c.combine[algo] != nil
+}
+
+// barrier invalidates every cached entry for dest. Called when anything
+// other than an UPDATE is appended to dest's buffer (ordering barrier) and
+// when the buffer is flushed or the self ring is reset (the remembered
+// positions no longer exist).
+func (c *coalescer) barrier(dest int) {
+	if c.table != nil {
+		c.epochs[dest]++
+	}
+}
+
+func (c *coalescer) slot(ev *Event) *coalEntry {
+	h := uint64(ev.To)*0x9E3779B97F4A7C15 ^
+		uint64(ev.Seq)<<27 ^ uint64(ev.W)<<9 ^ uint64(ev.Algo)
+	h ^= h >> 32
+	return &c.table[uint32(h)&c.mask]
+}
+
+// combineInto tries to merge ev into a still-buffered UPDATE with the same
+// key bound for dest. It returns true when the merge happened — the caller
+// then drops ev entirely (it was never registered in flight).
+func (c *coalescer) combineInto(r *rank, dest int, ev *Event) bool {
+	e := c.slot(ev)
+	if !e.live || e.dest != int32(dest) || e.epoch != c.epochs[dest] ||
+		e.to != ev.To || e.seq != ev.Seq || e.w != ev.W || e.algo != ev.Algo {
+		return false
+	}
+	buf := e.bufferedEvent(r, dest)
+	if buf == nil || buf.Kind != KindUpdate {
+		return false
+	}
+	buf.Val = c.combine[ev.Algo](buf.Val, ev.Val)
+	return true
+}
+
+// bufferedEvent resolves an entry's remembered position, defensively
+// re-checking bounds (an epoch bump should already have invalidated any
+// position that no longer exists).
+func (e *coalEntry) bufferedEvent(r *rank, dest int) *Event {
+	if dest == r.id {
+		if int(e.pos) < r.selfHead || int(e.pos) >= len(r.self) {
+			return nil
+		}
+		return &r.self[e.pos]
+	}
+	if int(e.pos) >= len(r.out[dest]) {
+		return nil
+	}
+	return &r.out[dest][e.pos]
+}
+
+// remember records where a just-appended combinable UPDATE sits, so the
+// next same-key emission can merge into it.
+func (c *coalescer) remember(dest int, ev *Event, pos int) {
+	*c.slot(ev) = coalEntry{
+		to: ev.To, seq: ev.Seq, epoch: c.epochs[dest],
+		pos: int32(pos), dest: int32(dest), w: ev.W, algo: ev.Algo, live: true,
+	}
+}

@@ -45,6 +45,11 @@ type Options struct {
 	// TraceDepth processed events for postmortem debugging (see Trace).
 	// Zero (the default) disables tracing entirely.
 	TraceDepth int
+	// NoCoalesce disables monotone update coalescing (see coalesce.go)
+	// even for programs that implement Combiner. Converged results are
+	// identical either way (that equivalence is property-tested); the knob
+	// exists for ablation and debugging.
+	NoCoalesce bool
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +74,9 @@ type Engine struct {
 	opts     Options
 	part     partition.Partitioner
 	programs []Program
+	// combine[algo] is that program's Combine hook (nil when the program
+	// does not implement Combiner or Options.NoCoalesce is set).
+	combine  []combineFunc
 	triggers []trigger
 	ranks    []*rank
 
@@ -144,6 +152,14 @@ func New(opts Options, programs ...Program) *Engine {
 		part:     opts.Partitioner,
 		programs: programs,
 		done:     make(chan struct{}),
+	}
+	e.combine = make([]combineFunc, len(programs))
+	if !opts.NoCoalesce {
+		for i, p := range programs {
+			if c, ok := p.(Combiner); ok {
+				e.combine[i] = c.Combine
+			}
+		}
 	}
 	e.qCond = sync.NewCond(&e.qMu)
 	e.ranks = make([]*rank, opts.Ranks)
@@ -292,16 +308,28 @@ func (e *Engine) emitExternal(ev Event) {
 		e.deferred = append(e.deferred, ev)
 		return
 	}
+	e.labelSeq(&ev)
+	// The external lane is SPSC like every other: extMu (held here) is
+	// what serializes its producer side. pushExternal buffers into the
+	// lane's current chunk, so injection allocates nothing per event.
+	e.ranks[e.part.Owner(ev.To)].inbox.pushExternal(ev)
+}
+
+// labelSeq stamps ev with the current snapshot sequence and registers it
+// in the matching in-flight ring slot. The increment-then-verify loop is
+// the one place this race is solved (see emitExternal's contract): if a
+// snapshot marker lands between the load and the increment, the increment
+// is rolled back and retried under the new sequence.
+func (e *Engine) labelSeq(ev *Event) {
 	for {
 		s := e.snapSeq.Load()
 		e.inflight[s&3].Add(1)
 		if e.snapSeq.Load() == s {
 			ev.Seq = s
-			break
+			return
 		}
 		e.inflight[s&3].Add(-1)
 	}
-	e.ranks[e.part.Owner(ev.To)].inbox.push([]Event{ev})
 }
 
 // tryFinish detects global termination: every stream exhausted (or a stop

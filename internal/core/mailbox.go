@@ -1,46 +1,188 @@
 package core
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "sync/atomic"
 
-// mailbox is a rank's inbound event queue. Senders append batches under a
-// short critical section; appends are atomic, so events from any single
-// sender are delivered in the order that sender appended them — the
-// pairwise-FIFO guarantee the paper's undirected-edge serialization relies
-// on (§III-C). Senders never block, so no cycle of blocked sends can
-// deadlock the engine; memory is the only backpressure, matching the
-// paper's saturation methodology.
+// mailbox is a rank's inbound event queue, built from per-sender SPSC
+// lanes: one unbounded single-producer/single-consumer chunk queue per
+// sender rank plus one lane for engine-external emissions (InitVertex,
+// Signal). Senders never contend with each other — each lane has exactly
+// one producer (the owning sender goroutine; the external lane is
+// serialized by the engine's extMu) and one consumer (the owning rank) —
+// and events from any single sender are delivered in the order that sender
+// pushed them, so the pairwise-FIFO guarantee the paper's undirected-edge
+// serialization relies on (§III-C) falls out of the structure instead of a
+// lock. Senders never block, so no cycle of blocked sends can deadlock the
+// engine; memory is the only backpressure, matching the paper's saturation
+// methodology.
 type mailbox struct {
-	mu    sync.Mutex
-	queue []Event
+	// lanes[sender] is that sender rank's private channel; the last lane
+	// (index == rank count) carries external emissions.
+	lanes []lane
 	// wake carries at most one token; a sender deposits it after
-	// appending, and an idle rank parks on it.
+	// publishing, and an idle rank parks on it.
 	wake chan struct{}
-	// spare recycles the previously-drained slice to avoid reallocation.
-	spare []Event
-	// hwm is the deepest the queue has ever been. Written only under mu
-	// (push), read lock-free by EngineStats.
-	hwm atomic.Uint64
+	// queued approximates the current queue depth (published minus
+	// drained; it can transiently dip below zero when a drain races a
+	// producer's add). hwm is the deepest it has ever been.
+	queued atomic.Int64
+	hwm    atomic.Uint64
+	// scratch is the consumer-owned drain buffer, handed out by drain and
+	// returned via recycle to avoid reallocation.
+	scratch []Event
 }
 
-func newMailbox() *mailbox {
-	return &mailbox{wake: make(chan struct{}, 1)}
+// laneChunkSize is the event capacity of one lane chunk. Chunks are the
+// unit of producer→consumer publication and of recycling.
+const laneChunkSize = 256
+
+// laneChunk is one fixed-size segment of a lane. The producer fills buf in
+// order and publishes progress through n (monotone within a chunk); when
+// full it links a successor through next. The consumer reads buf[:n] and
+// advances to next once the chunk is exhausted.
+type laneChunk struct {
+	next atomic.Pointer[laneChunk]
+	n    atomic.Int32
+	buf  [laneChunkSize]Event
 }
 
-// push appends a batch of events and wakes the owner if it is parked.
-func (m *mailbox) push(batch []Event) {
+// lane is one unbounded SPSC chunk queue. Producer-owned and
+// consumer-owned fields sit on separate cache lines so the two sides never
+// false-share; the only cross-side traffic is the atomic publish (n, next)
+// and the free-slot chunk exchange.
+type lane struct {
+	_ [64]byte
+	// tail is the producer's current write chunk; tailN its count of
+	// events written there (mirrored into tail.n to publish).
+	tail  *laneChunk
+	tailN int
+	_     [64]byte
+	// head is the consumer's current read chunk; read its count of events
+	// already consumed from it.
+	head *laneChunk
+	read int
+	_    [64]byte
+	// free is a single-slot recycling exchange: the consumer deposits an
+	// exhausted (reset) chunk, the producer swaps it out instead of
+	// allocating.
+	free atomic.Pointer[laneChunk]
+}
+
+// push appends a batch to the lane. Producer side only.
+func (l *lane) push(batch []Event) {
+	c := l.tail
+	for len(batch) > 0 {
+		if l.tailN == laneChunkSize {
+			c = l.nextChunk(c)
+		}
+		k := copy(c.buf[l.tailN:], batch)
+		l.tailN += k
+		c.n.Store(int32(l.tailN)) // publish: events are written before n
+		batch = batch[k:]
+	}
+}
+
+// pushOne appends a single event to the lane. Producer side only.
+func (l *lane) pushOne(ev Event) {
+	c := l.tail
+	if l.tailN == laneChunkSize {
+		c = l.nextChunk(c)
+	}
+	c.buf[l.tailN] = ev
+	l.tailN++
+	c.n.Store(int32(l.tailN))
+}
+
+// nextChunk links a fresh (or recycled) chunk after the full chunk c and
+// makes it the producer's tail. Linking through next is what lets the
+// consumer follow; a recycled chunk was reset by the consumer before being
+// deposited in free.
+func (l *lane) nextChunk(c *laneChunk) *laneChunk {
+	nc := l.free.Swap(nil)
+	if nc == nil {
+		nc = new(laneChunk)
+	}
+	l.tail = nc
+	l.tailN = 0
+	c.next.Store(nc)
+	return nc
+}
+
+// drainInto appends every currently-published event to out and returns the
+// extended slice. Consumer side only. Exhausted chunks are reset and
+// offered back to the producer through the free slot — safe because a
+// non-nil next proves the producer has moved its tail past the chunk.
+func (l *lane) drainInto(out []Event) []Event {
+	for {
+		c := l.head
+		n := int(c.n.Load())
+		if n > l.read {
+			out = append(out, c.buf[l.read:n]...)
+			l.read = n
+		}
+		if l.read < laneChunkSize {
+			return out
+		}
+		next := c.next.Load()
+		if next == nil {
+			return out
+		}
+		l.head = next
+		l.read = 0
+		c.n.Store(0)
+		c.next.Store(nil)
+		l.free.Store(c)
+	}
+}
+
+// newMailbox builds a mailbox with the given number of sender lanes (rank
+// count + 1; the last lane is the external one).
+func newMailbox(senders int) *mailbox {
+	m := &mailbox{
+		lanes: make([]lane, senders),
+		wake:  make(chan struct{}, 1),
+	}
+	for i := range m.lanes {
+		c := new(laneChunk)
+		m.lanes[i].head = c
+		m.lanes[i].tail = c
+	}
+	return m
+}
+
+// externalLane returns the index of the engine-external lane.
+func (m *mailbox) externalLane() int { return len(m.lanes) - 1 }
+
+// push appends a batch of events on the sender's lane and wakes the owner
+// if it is parked. Each lane admits one producer: rank goroutine `sender`
+// for rank lanes, the extMu-serialized engine for the external lane.
+func (m *mailbox) push(sender int, batch []Event) {
 	if len(batch) == 0 {
 		return
 	}
-	m.mu.Lock()
-	m.queue = append(m.queue, batch...)
-	if n := uint64(len(m.queue)); n > m.hwm.Load() {
-		m.hwm.Store(n)
-	}
-	m.mu.Unlock()
+	m.lanes[sender].push(batch)
+	m.noteQueued(len(batch))
 	m.poke()
+}
+
+// pushExternal appends one engine-external event (caller holds extMu).
+func (m *mailbox) pushExternal(ev Event) {
+	m.lanes[m.externalLane()].pushOne(ev)
+	m.noteQueued(1)
+	m.poke()
+}
+
+// noteQueued advances the depth estimate and its high-water mark.
+func (m *mailbox) noteQueued(k int) {
+	d := m.queued.Add(int64(k))
+	if d <= 0 {
+		return
+	}
+	for {
+		h := m.hwm.Load()
+		if uint64(d) <= h || m.hwm.CompareAndSwap(h, uint64(d)) {
+			return
+		}
+	}
 }
 
 // poke deposits a wake token without delivering events (used to nudge a
@@ -52,42 +194,33 @@ func (m *mailbox) poke() {
 	}
 }
 
-// drain swaps out and returns all queued events (nil if none). The caller
-// must hand the slice back via recycle once processed.
+// drain collects every published event from every lane into one slice
+// (nil if none), preserving per-lane order. The caller must hand the slice
+// back via recycle once processed.
 func (m *mailbox) drain() []Event {
-	m.mu.Lock()
-	q := m.queue
-	if len(q) == 0 {
-		m.mu.Unlock()
+	out := m.scratch
+	m.scratch = nil
+	if out == nil {
+		out = []Event{}
+	}
+	out = out[:0]
+	for i := range m.lanes {
+		out = m.lanes[i].drainInto(out)
+	}
+	if len(out) == 0 {
+		m.scratch = out
 		return nil
 	}
-	if m.spare != nil {
-		m.queue = m.spare[:0]
-		m.spare = nil
-	} else {
-		m.queue = nil
-	}
-	m.mu.Unlock()
-	return q
+	m.queued.Add(-int64(len(out)))
+	return out
 }
 
-// recycle returns a drained slice for reuse. The storage is routed to
-// whichever buffer has no capacity of its own: preferentially the live
-// queue (so concurrent pushes append in place instead of allocating — after
-// a drain that found no spare, queue is nil), otherwise the spare slot.
-// Only when both already hold capacity is the slice dropped.
+// recycle returns a drained slice for reuse by the next drain. Consumer
+// side only, like drain.
 func (m *mailbox) recycle(batch []Event) {
-	if cap(batch) == 0 {
-		return
+	if cap(batch) > cap(m.scratch) {
+		m.scratch = batch[:0]
 	}
-	m.mu.Lock()
-	switch {
-	case cap(m.queue) == 0 && len(m.queue) == 0:
-		m.queue = batch[:0]
-	case cap(m.spare) == 0:
-		m.spare = batch[:0]
-	}
-	m.mu.Unlock()
 }
 
 // wait parks until a wake token arrives or done closes. It returns

@@ -1,17 +1,18 @@
 package core
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 )
 
 func TestMailboxPushDrain(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(3)
 	if m.drain() != nil {
 		t.Fatal("empty drain should be nil")
 	}
-	m.push([]Event{{To: 1}, {To: 2}})
-	m.push([]Event{{To: 3}})
+	m.push(0, []Event{{To: 1}, {To: 2}})
+	m.push(0, []Event{{To: 3}})
 	got := m.drain()
 	if len(got) != 3 || got[0].To != 1 || got[2].To != 3 {
 		t.Fatalf("drain = %+v", got)
@@ -23,8 +24,8 @@ func TestMailboxPushDrain(t *testing.T) {
 }
 
 func TestMailboxPushEmptyBatch(t *testing.T) {
-	m := newMailbox()
-	m.push(nil)
+	m := newMailbox(2)
+	m.push(0, nil)
 	select {
 	case <-m.wake:
 		t.Fatal("empty push should not wake")
@@ -32,128 +33,162 @@ func TestMailboxPushEmptyBatch(t *testing.T) {
 	}
 }
 
-func TestMailboxSenderFIFO(t *testing.T) {
-	m := newMailbox()
-	const senders, per = 4, 1000
+// TestMailboxMultiSenderFIFOStress is the pairwise-FIFO stress test: every
+// sender owns its lane (the SPSC contract) and pushes randomized batch
+// sizes concurrently with the consumer draining; per-sender delivery order
+// must be exactly push order. Run under -race this also exercises the
+// publish/consume memory ordering of the chunk queues.
+func TestMailboxMultiSenderFIFOStress(t *testing.T) {
+	const senders, per = 6, 20000
+	m := newMailbox(senders + 1)
 	var wg sync.WaitGroup
 	for s := 0; s < senders; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			for i := 0; i < per; i++ {
-				// From encodes sender, Val encodes sequence within sender.
-				m.push([]Event{{From: 1 << uint(s), Val: uint64(i)}})
+			rng := rand.New(rand.NewSource(int64(1000 + s)))
+			i := 0
+			for i < per {
+				n := 1 + rng.Intn(97)
+				if i+n > per {
+					n = per - i
+				}
+				batch := make([]Event, n)
+				for j := range batch {
+					// From encodes sender, Val the within-sender sequence.
+					batch[j] = Event{From: 1 << uint(s), Val: uint64(i + j)}
+				}
+				m.push(s, batch)
+				i += n
 			}
 		}(s)
 	}
-	wg.Wait()
-	last := map[uint64]int64{}
+	// The external lane has its own (serialized) producer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < per; i++ {
+			m.pushExternal(Event{From: 1 << senders, Val: uint64(i)})
+		}
+	}()
+
+	next := make([]uint64, senders+1)
 	total := 0
-	for {
+	for total < (senders+1)*per {
 		batch := m.drain()
 		if batch == nil {
-			break
+			m.wait(nil)
+			continue
 		}
 		for _, ev := range batch {
-			prev, seen := last[uint64(ev.From)]
-			if seen && int64(ev.Val) != prev+1 {
-				t.Fatalf("sender %d out of order: %d after %d", ev.From, ev.Val, prev)
+			var lane int
+			for ev.From>>uint(lane) != 1 {
+				lane++
 			}
-			if !seen && ev.Val != 0 {
-				t.Fatalf("sender %d first event is %d", ev.From, ev.Val)
+			if ev.Val != next[lane] {
+				t.Fatalf("sender %d out of order: got %d want %d", lane, ev.Val, next[lane])
 			}
-			last[uint64(ev.From)] = int64(ev.Val)
+			next[lane]++
 			total++
 		}
+		m.recycle(batch)
 	}
-	if total != senders*per {
-		t.Fatalf("delivered %d, want %d", total, senders*per)
+	wg.Wait()
+	if got := m.drain(); got != nil {
+		t.Fatalf("events left after full delivery: %d", len(got))
 	}
 }
 
 // TestMailboxRecycleReusesStorage pins the steady-state allocation
 // behaviour: once warmed, a push/drain/recycle cycle must not allocate —
-// recycle routes the drained storage back to whichever buffer has no
-// capacity (the live queue first, so the very next push appends in place).
+// chunks recycle through each lane's free slot and the drain buffer
+// recycles through scratch. (Chunk allocation is amortized: the batch here
+// is sized so cycles cross chunk boundaries and still reuse storage.)
 func TestMailboxRecycleReusesStorage(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(2)
 	batch := make([]Event, 64)
 	cycle := func() {
-		m.push(batch)
+		m.push(1, batch)
 		got := m.drain()
 		if got == nil {
 			t.Fatal("drain returned nil after push")
 		}
 		m.recycle(got)
 	}
-	cycle() // warm: the first push allocates the one long-lived buffer
+	// Warm past the first chunk boundary: the first cycles allocate the
+	// long-lived buffers (drain scratch, second chunk of the ring).
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
 	if allocs := testing.AllocsPerRun(200, cycle); allocs > 0 {
 		t.Fatalf("steady-state push/drain/recycle allocates %.1f times per cycle", allocs)
 	}
 }
 
-// TestMailboxRecycleRouting covers the three routing cases directly.
-func TestMailboxRecycleRouting(t *testing.T) {
-	m := newMailbox()
-	buf := make([]Event, 0, 8)
-
-	// Queue empty with no capacity: storage goes to the queue.
-	m.recycle(buf)
-	if cap(m.queue) != 8 || m.spare != nil {
-		t.Fatalf("recycle into empty mailbox: queue cap %d spare %v", cap(m.queue), m.spare)
+// TestMailboxLaneChunkBoundary crosses several chunk boundaries with one
+// oversized batch and checks nothing is lost or reordered.
+func TestMailboxLaneChunkBoundary(t *testing.T) {
+	m := newMailbox(1)
+	const n = laneChunkSize*3 + 17
+	batch := make([]Event, n)
+	for i := range batch {
+		batch[i].Val = uint64(i)
 	}
-
-	// Queue already has capacity: storage goes to the spare slot.
-	other := make([]Event, 0, 4)
-	m.recycle(other)
-	if cap(m.spare) != 4 {
-		t.Fatalf("recycle with live queue: spare cap %d, want 4", cap(m.spare))
+	m.push(0, batch[:laneChunkSize-1])
+	m.push(0, batch[laneChunkSize-1:])
+	got := m.drain()
+	if len(got) != n {
+		t.Fatalf("drained %d events, want %d", len(got), n)
 	}
-
-	// Both held: the slice is dropped, and crucially a non-empty queue is
-	// never overwritten.
-	m.push([]Event{{To: 7}})
-	m.recycle(make([]Event, 0, 16))
-	if got := m.drain(); len(got) != 1 || got[0].To != 7 {
-		t.Fatalf("recycle clobbered queued events: %+v", got)
+	for i := range got {
+		if got[i].Val != uint64(i) {
+			t.Fatalf("event %d carries %d", i, got[i].Val)
+		}
 	}
+}
 
-	// Zero-capacity slices are ignored outright.
-	m2 := newMailbox()
-	m2.recycle(nil)
-	if m2.queue != nil || m2.spare != nil {
-		t.Fatal("recycle(nil) touched the mailbox")
+func TestMailboxExternalLane(t *testing.T) {
+	m := newMailbox(2) // one rank lane + the external lane
+	m.pushExternal(Event{To: 9})
+	m.push(0, []Event{{To: 1}})
+	got := m.drain()
+	if len(got) != 2 {
+		t.Fatalf("drained %d events, want 2", len(got))
+	}
+	seen := map[uint64]bool{uint64(got[0].To): true, uint64(got[1].To): true}
+	if !seen[9] || !seen[1] {
+		t.Fatalf("drained %+v", got)
 	}
 }
 
 func TestMailboxHighWater(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(2)
 	if m.highWater() != 0 {
 		t.Fatalf("fresh mailbox hwm = %d", m.highWater())
 	}
-	m.push(make([]Event, 3))
-	m.push(make([]Event, 2)) // depth 5
+	m.push(0, make([]Event, 3))
+	m.push(1, make([]Event, 2)) // depth 5
 	m.recycle(m.drain())
-	m.push(make([]Event, 4)) // depth 4 < 5: hwm unchanged
+	m.push(0, make([]Event, 4)) // depth 4 < 5: hwm unchanged
 	if m.highWater() != 5 {
 		t.Fatalf("hwm = %d, want 5", m.highWater())
 	}
 }
 
 func TestMailboxWakeOnPush(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(1)
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
 		m.wait(done)
 		close(finished)
 	}()
-	m.push([]Event{{To: 1}})
+	m.push(0, []Event{{To: 1}})
 	<-finished
 }
 
 func TestMailboxWakeOnDone(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(1)
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
@@ -165,7 +200,7 @@ func TestMailboxWakeOnDone(t *testing.T) {
 }
 
 func TestMailboxPoke(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(1)
 	m.poke()
 	m.poke() // second poke must not block
 	m.wait(nil)

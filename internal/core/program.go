@@ -58,6 +58,25 @@ type SignalAware interface {
 	OnSignal(ctx *Ctx, val uint64)
 }
 
+// Combiner is optionally implemented by programs whose UPDATE events may
+// be coalesced Pregel-style while buffered: when two UPDATEs to the same
+// vertex share snapshot sequence and edge weight, the engine may replace
+// them with a single UPDATE carrying Combine(old, new) — see coalesce.go
+// and DESIGN.md "Combining is sound for REMO".
+//
+// The contract: for a fixed receiving vertex and weight, the combined
+// value must subsume both inputs under the program's monotone order
+// (processing the combined UPDATE must drive the receiver's state at least
+// as far as processing both originals), and any effect OnUpdate addresses
+// back at the event's From (notify-backs) must be safe to drop for the
+// losing input. Min/max/set-union over the propagated value satisfy this
+// for BFS, SSSP, CC, widest-path, and Multi S-T.
+type Combiner interface {
+	Program
+	// Combine merges two UPDATE values bound for the same vertex.
+	Combine(old, new uint64) uint64
+}
+
 // Named is optionally implemented by programs to label themselves in stats
 // and harness output.
 type Named interface {

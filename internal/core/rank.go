@@ -29,6 +29,14 @@ type rank struct {
 	// full or before idling. Per-destination buffers preserve pairwise
 	// FIFO order.
 	out [][]Event
+	// self is the self-delivery ring: events this rank addresses to its own
+	// vertices bypass the mailbox (no publish, no wake) and are drained in
+	// the same batch loop. selfHead is the next unprocessed index.
+	self     []Event
+	selfHead int
+	// coal merges redundant monotone UPDATEs inside out/self before they
+	// are delivered (see coalesce.go).
+	coal *coalescer
 
 	stream     stream.Stream
 	streamDone bool
@@ -65,8 +73,9 @@ func newRank(e *Engine, id int) *rank {
 		id:       id,
 		eng:      e,
 		store:    graph.NewStore(e.opts.SmallCap),
-		inbox:    newMailbox(),
+		inbox:    newMailbox(e.opts.Ranks + 1),
 		out:      make([][]Event, e.opts.Ranks),
+		coal:     newCoalescer(e.combine, e.opts.Ranks),
 		counters: newRankCounters(e.opts.Ranks),
 		trace:    newTraceRing(e.opts.TraceDepth),
 	}
@@ -92,15 +101,19 @@ func (r *rank) loop() {
 		// never starved.
 		pulled := false
 		if r.eng.opts.IngestFirst {
-			pulled = r.pullStream()
+			pulled = r.pullBurst()
 		}
 
-		if batch := r.inbox.drain(); batch != nil {
-			r.counters.batchesDrained.Add(1)
-			for i := range batch {
-				r.process(&batch[i])
+		batch := r.inbox.drain()
+		if batch != nil || r.selfPending() {
+			if batch != nil {
+				r.counters.batchesDrained.Add(1)
+				for i := range batch {
+					r.process(&batch[i])
+				}
+				r.inbox.recycle(batch)
 			}
-			r.inbox.recycle(batch)
+			r.drainSelf()
 			r.applyDecrements()
 			r.flushAll()
 			continue
@@ -109,7 +122,7 @@ func (r *rank) loop() {
 			continue
 		}
 
-		if !r.eng.opts.IngestFirst && r.pullStream() {
+		if !r.eng.opts.IngestFirst && r.pullBurst() {
 			continue
 		}
 
@@ -150,6 +163,22 @@ func (r *rank) exit() {
 // without blocking so the rank keeps serving algorithmic events, queries,
 // and snapshot duties while its source is quiet (§VI-A's real-time
 // properties).
+// pullBurst pulls up to BatchSize topology events in one go. Locally-owned
+// events accumulate in the self ring and remote ones in the outbound
+// buffers, so the per-iteration loop overhead (mailbox lane scan, flush
+// sweep, snapshot/query chores) is paid once per burst rather than once
+// per event — the same amortization the outbound path gets from BatchSize.
+// The mailbox is still drained between bursts, so algorithmic work is
+// deprioritized, never starved.
+func (r *rank) pullBurst() bool {
+	if !r.pullStream() {
+		return false
+	}
+	for n := 1; n < r.eng.opts.BatchSize && r.pullStream(); n++ {
+	}
+	return true
+}
+
 func (r *rank) pullStream() bool {
 	if r.streamDone || r.eng.ingestHalted() {
 		return false
@@ -183,16 +212,8 @@ func (r *rank) pullStream() bool {
 	// current snapshot sequence via the same guarded loop as external
 	// emissions.
 	out := Event{Kind: kind, Algo: NoAlgo, To: ev.Src, From: ev.Dst, W: ev.W}
-	for {
-		s := r.eng.snapSeq.Load()
-		r.eng.inflight[s&3].Add(1)
-		if r.eng.snapSeq.Load() == s {
-			out.Seq = s
-			break
-		}
-		r.eng.inflight[s&3].Add(-1)
-	}
-	r.send(out)
+	r.eng.labelSeq(&out)
+	r.deliver(r.eng.part.Owner(out.To), out)
 	// Counted only after the in-flight increment: once Ingested() reports
 	// n, all n events are either in flight or fully processed, so
 	// Ingested()==pushed && Quiescent() is a sound "drained" check.
@@ -201,32 +222,86 @@ func (r *rank) pullStream() bool {
 }
 
 // emit routes a callback-generated event; the child inherits its parent's
-// snapshot sequence (§III-D), which the caller already set. The in-flight
-// increment happens before the parent's (batched) decrement, so the ring
-// counter cannot falsely reach zero.
+// snapshot sequence (§III-D), which the caller already set. A combinable
+// UPDATE first tries to merge into a same-key UPDATE still sitting in the
+// destination's buffer — a merged event is dropped before the in-flight
+// increment, so the ring counters stay exact with no extra bookkeeping.
+// Otherwise the in-flight increment happens before the parent's (batched)
+// decrement, so the ring counter cannot falsely reach zero.
 func (r *rank) emit(ev Event) {
 	r.counters.cascadeEmits.Add(1)
+	dest := r.eng.part.Owner(ev.To)
+	if ev.Kind == KindUpdate && r.coal.combinable(ev.Algo) {
+		if r.coal.combineInto(r, dest, &ev) {
+			r.counters.combinedAway.Add(1)
+			return
+		}
+		r.eng.inflight[ev.Seq&3].Add(1)
+		if pos := r.deliver(dest, ev); pos >= 0 {
+			r.coal.remember(dest, &ev, pos)
+		}
+		return
+	}
 	r.eng.inflight[ev.Seq&3].Add(1)
-	r.send(ev)
+	r.deliver(dest, ev)
 }
 
-func (r *rank) send(ev Event) {
-	dest := r.eng.part.Owner(ev.To)
+// deliver appends ev to its destination buffer: the self-delivery ring for
+// this rank's own vertices, the outbound buffer otherwise (flushed when
+// full). It returns the buffered position, or -1 when the event is no
+// longer addressable (the append triggered a flush).
+func (r *rank) deliver(dest int, ev Event) int {
+	if ev.Kind != KindUpdate {
+		// Ordering barrier: no later UPDATE may coalesce backward across
+		// a topology/init/signal event on the same channel.
+		r.coal.barrier(dest)
+	}
+	if dest == r.id {
+		r.counters.selfDelivered.Add(1)
+		r.self = append(r.self, ev)
+		return len(r.self) - 1
+	}
 	r.out[dest] = append(r.out[dest], ev)
 	if len(r.out[dest]) >= r.eng.opts.BatchSize {
 		r.flush(dest)
+		return -1
 	}
+	return len(r.out[dest]) - 1
+}
+
+// selfPending reports whether the self-delivery ring holds unprocessed
+// events.
+func (r *rank) selfPending() bool { return r.selfHead < len(r.self) }
+
+// drainSelf processes every event in the self-delivery ring, including
+// ones appended by the cascades it runs (events are read by value, so
+// append-driven reallocation during iteration is safe). The ring's storage
+// is kept for reuse.
+func (r *rank) drainSelf() {
+	if !r.selfPending() {
+		return
+	}
+	for r.selfHead < len(r.self) {
+		ev := r.self[r.selfHead]
+		r.selfHead++
+		r.process(&ev)
+	}
+	r.self = r.self[:0]
+	r.selfHead = 0
+	r.coal.barrier(r.id)
 }
 
 func (r *rank) flush(dest int) {
 	if len(r.out[dest]) == 0 {
 		return
 	}
+	// The buffered positions the coalescer remembered are gone.
+	r.coal.barrier(dest)
 	// Counted at flush, not per send: one pair of adds amortized over the
 	// whole outbound batch.
 	r.counters.sentTo[dest].Add(uint64(len(r.out[dest])))
 	r.counters.flushesTo[dest].Add(1)
-	r.eng.ranks[dest].inbox.push(r.out[dest])
+	r.eng.ranks[dest].inbox.push(r.id, r.out[dest])
 	r.out[dest] = r.out[dest][:0]
 }
 
@@ -255,22 +330,34 @@ func (r *rank) applyDecrements() {
 	}
 }
 
-// growValues extends every state array to cover a newly created slot.
+// growValues extends every state array to cover a newly created slot, in a
+// single step per array (Unset is the zero value, so the grown region
+// needs no explicit fill).
 func (r *rank) growValues(slot graph.Slot) {
 	for a := range r.values {
-		for len(r.values[a]) <= int(slot) {
-			r.values[a] = append(r.values[a], Unset)
-		}
+		r.values[a] = grownTo(r.values[a], slot)
 	}
 }
 
 // setPrevValue writes previous-version state, growing the array for
 // vertices created by old-version events after the local copy was taken.
 func (r *rank) setPrevValue(algo uint8, slot graph.Slot, v uint64) {
-	for len(r.prevValues[algo]) <= int(slot) {
-		r.prevValues[algo] = append(r.prevValues[algo], Unset)
-	}
+	r.prevValues[algo] = grownTo(r.prevValues[algo], slot)
 	r.prevValues[algo][slot] = v
+}
+
+// grownTo returns vals extended (in one step) so that slot is in range.
+func grownTo(vals []uint64, slot graph.Slot) []uint64 {
+	if int(slot) < len(vals) {
+		return vals
+	}
+	n := int(slot) + 1
+	if n <= cap(vals) {
+		return vals[:n] // append-grown capacity is already zeroed
+	}
+	grown := make([]uint64, n, max(n, 2*cap(vals)))
+	copy(grown, vals)
+	return grown
 }
 
 // process dispatches one event. The in-flight decrement is batched in

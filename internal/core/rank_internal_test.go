@@ -30,12 +30,11 @@ func TestHandleDeleteUngrownSlot(t *testing.T) {
 	r.store.AddEdge(5, 7, 1, 0)
 	ev := Event{Kind: KindDelete, To: 5, From: 7, W: 1}
 	r.handleDelete(&ev)
+	// With one rank every emission takes the self-delivery fast path.
 	var rev *Event
-	for dest := range r.out {
-		for i := range r.out[dest] {
-			if r.out[dest][i].Kind == KindReverseDelete {
-				rev = &r.out[dest][i]
-			}
+	for i := range r.self {
+		if r.self[i].Kind == KindReverseDelete {
+			rev = &r.self[i]
 		}
 	}
 	if rev == nil {
@@ -58,11 +57,9 @@ func TestHandleDeleteNoPrograms(t *testing.T) {
 	ev := Event{Kind: KindDelete, To: 3, From: 4, W: 2}
 	r.handleDelete(&ev)
 	found := false
-	for dest := range r.out {
-		for _, oe := range r.out[dest] {
-			if oe.Kind == KindReverseDelete && oe.Algo == NoAlgo && oe.To == 4 {
-				found = true
-			}
+	for _, oe := range r.self {
+		if oe.Kind == KindReverseDelete && oe.Algo == NoAlgo && oe.To == 4 {
+			found = true
 		}
 	}
 	if !found {

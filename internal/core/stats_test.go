@@ -66,14 +66,22 @@ func TestEngineStatsDeterministicTotals(t *testing.T) {
 			es.Events.Topo(), es.Events.Algo(), es.Events.Total())
 	}
 
-	// Every processed event except the single external INIT entered a
-	// mailbox through the flush-counted outbound path.
-	if es.MessagesSent+es.Events.Inits != es.Events.Total() {
-		t.Fatalf("MessagesSent = %d, want %d", es.MessagesSent, es.Events.Total()-es.Events.Inits)
+	// Every processed event travelled exactly one of three paths: the
+	// flush-counted outbound mailbox path, the self-delivery fast path, or
+	// (for the single INIT) the external lane.
+	if es.MessagesSent+es.SelfDelivered+es.Events.Inits != es.Events.Total() {
+		t.Fatalf("MessagesSent %d + SelfDelivered %d + Inits %d != Total %d",
+			es.MessagesSent, es.SelfDelivered, es.Events.Inits, es.Events.Total())
 	}
-	// Cascade emissions are exactly the callback-generated events.
-	if want := es.Events.Algo() - es.Events.Inits; es.CascadeEmits != want {
-		t.Fatalf("CascadeEmits = %d, want %d", es.CascadeEmits, want)
+	if es.SelfDelivered == 0 {
+		t.Fatal("a 4-rank chain ingest must self-deliver some events")
+	}
+	// Cascade emissions are exactly the callback-generated events: every
+	// processed algorithmic event except the external INIT, plus the
+	// emitted-but-coalesced-away updates that were never processed.
+	if want := es.Events.Algo() - es.Events.Inits + es.CombinedAway; es.CascadeEmits != want {
+		t.Fatalf("CascadeEmits = %d, want %d (combinedAway=%d)",
+			es.CascadeEmits, want, es.CombinedAway)
 	}
 	if es.Flushes == 0 || es.BatchesDrained == 0 || es.MailboxHWM == 0 {
 		t.Fatalf("traffic counters empty: flushes=%d drains=%d hwm=%d",

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"runtime"
+
+	"incregraph/internal/core"
+	"incregraph/internal/stream"
+)
+
+// BenchResult is one (dataset, algorithm, ranks) cell of the Figure 5
+// sweep with the engine's own counters attached, so a recorded run says
+// not just how fast it went but where the events went: cascade
+// amplification (events per topology event), inter-rank traffic, and the
+// two hot-path counters this repo tracks release over release —
+// self-delivered events (mailbox bypass) and updates combined away
+// (monotone coalescing).
+type BenchResult struct {
+	Dataset       string  `json:"dataset"`
+	Algo          string  `json:"algo"`
+	Ranks         int     `json:"ranks"`
+	DurationMS    float64 `json:"duration_ms"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	TopoEvents    uint64  `json:"topo_events"`
+	AlgoEvents    uint64  `json:"algo_events"`
+	EventsPerTopo float64 `json:"events_per_topo"`
+	MessagesSent  uint64  `json:"messages_sent"`
+	SelfDelivered uint64  `json:"self_delivered"`
+	CombinedAway  uint64  `json:"combined_away"`
+	EvPerFlush    float64 `json:"ev_per_flush"`
+}
+
+// BenchReport is the machine-readable form of the Figure 5 sweep,
+// written by `paperbench bench -json FILE` (see `make bench-json`). The
+// schema field versions the layout so downstream tooling can reject
+// files it does not understand.
+type BenchReport struct {
+	Schema     int           `json:"schema"`
+	Scale      int           `json:"scale"`
+	EdgeFactor int           `json:"edge_factor"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// BenchJSON runs the Figure 5 sweep (every dataset x algorithm x rank
+// count) once per cell and returns the structured report. Single runs,
+// not medians: the JSON is a trajectory record, and the variance between
+// CI runners exceeds run-to-run variance on one machine anyway.
+func BenchJSON(cfg Config) *BenchReport {
+	cfg = cfg.withDefaults()
+	rep := &BenchReport{
+		Schema:     1,
+		Scale:      cfg.Scale,
+		EdgeFactor: cfg.EdgeFactor,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, d := range Datasets(cfg) {
+		edges := d.Edges()
+		for _, spec := range Algorithms() {
+			prog, inits := spec.Build(edges)
+			for _, ranks := range cfg.Ranks {
+				var programs []core.Program
+				if prog != nil {
+					programs = append(programs, prog)
+				}
+				e := core.New(core.Options{Ranks: ranks, Undirected: true}, programs...)
+				for _, v := range inits {
+					e.InitVertex(0, v)
+				}
+				stats, err := e.Run(stream.Split(edges, ranks))
+				if err != nil {
+					panic(err)
+				}
+				es := e.EngineStats()
+				res := BenchResult{
+					Dataset:       d.Name,
+					Algo:          spec.Name,
+					Ranks:         ranks,
+					DurationMS:    float64(stats.Duration.Microseconds()) / 1e3,
+					EventsPerSec:  stats.EventsPerSec,
+					TopoEvents:    es.Events.Topo(),
+					AlgoEvents:    es.Events.Algo(),
+					MessagesSent:  es.MessagesSent,
+					SelfDelivered: es.SelfDelivered,
+					CombinedAway:  es.CombinedAway,
+					EvPerFlush:    es.BatchingFactor(),
+				}
+				if res.TopoEvents > 0 {
+					res.EventsPerTopo = float64(es.Events.Total()) / float64(res.TopoEvents)
+				}
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchJSONQuick pins the machine-readable bench report: full sweep
+// coverage (every dataset x algorithm x rank count), sane rates, and the
+// hot-path counters the report exists to track — coalescing must fire
+// somewhere in the sweep, and single-rank runs must route everything
+// through self-delivery.
+func TestBenchJSONQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench sweep in -short mode")
+	}
+	cfg := Config{Quick: true, Ranks: []int{1, 2}}
+	rep := BenchJSON(cfg)
+
+	want := len(Datasets(cfg)) * len(Algorithms()) * len(cfg.Ranks)
+	if len(rep.Results) != want {
+		t.Fatalf("report has %d results, want %d", len(rep.Results), want)
+	}
+	if rep.Schema != 1 || rep.Scale != 10 || rep.EdgeFactor != 8 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	var combined uint64
+	for _, r := range rep.Results {
+		if r.EventsPerSec <= 0 || r.TopoEvents == 0 {
+			t.Fatalf("%s/%s/ranks=%d: rate %.0f, topo %d — dead cell",
+				r.Dataset, r.Algo, r.Ranks, r.EventsPerSec, r.TopoEvents)
+		}
+		if r.Ranks == 1 && r.MessagesSent != 0 {
+			t.Fatalf("%s/%s: single rank sent %d inter-rank messages",
+				r.Dataset, r.Algo, r.MessagesSent)
+		}
+		combined += r.CombinedAway
+	}
+	if combined == 0 {
+		t.Fatal("coalescing never fired across the whole sweep")
+	}
+
+	// The report must round-trip as JSON (the only consumer is tooling).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("round-trip lost results: %d != %d", len(back.Results), len(rep.Results))
+	}
+}

@@ -31,8 +31,8 @@ func Counters(cfg Config) *Table {
 
 	t := &Table{
 		Title: fmt.Sprintf("Engine counters: saturated live BFS (twitter-sim, %d ranks)", ranks),
-		Header: []string{"Rank", "Topo", "Algo", "Cascades", "Sent", "Flushes",
-			"Batching", "Drains", "MailboxHWM"},
+		Header: []string{"Rank", "Topo", "Algo", "Cascades", "Sent", "Self", "Combined",
+			"Flushes", "Batching", "Drains", "MailboxHWM"},
 	}
 	for _, r := range es.PerRank {
 		var sent, flushes uint64
@@ -49,6 +49,8 @@ func Counters(cfg Config) *Table {
 			metrics.HumanCount(r.Events.Algo()),
 			metrics.HumanCount(r.CascadeEmits),
 			metrics.HumanCount(sent),
+			metrics.HumanCount(r.SelfDelivered),
+			metrics.HumanCount(r.CombinedAway),
 			metrics.HumanCount(flushes),
 			batching,
 			metrics.HumanCount(r.BatchesDrained),
@@ -59,6 +61,8 @@ func Counters(cfg Config) *Table {
 		metrics.HumanCount(es.Events.Algo()),
 		metrics.HumanCount(es.CascadeEmits),
 		metrics.HumanCount(es.MessagesSent),
+		metrics.HumanCount(es.SelfDelivered),
+		metrics.HumanCount(es.CombinedAway),
 		metrics.HumanCount(es.Flushes),
 		fmt.Sprintf("%.1f", es.BatchingFactor()),
 		metrics.HumanCount(es.BatchesDrained),

@@ -61,3 +61,10 @@ func NewGraph(programs []Program, opts ...Option) *Graph {
 	}
 	return New(cfg, programs...)
 }
+
+// WithoutCoalescing disables monotone update coalescing (see
+// Config.NoCoalesce). Converged results are identical either way; this is
+// an ablation/debugging knob.
+func WithoutCoalescing() Option {
+	return func(c *Config) { c.NoCoalesce = true }
+}
