@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json examples clean
+.PHONY: check fmt vet build test race sim fuzz-smoke bench bench-json examples clean
 
 check: fmt vet build test race
 
@@ -25,6 +25,23 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# Deterministic-simulation sweep: SIM_SEEDS seeds × every algorithm ×
+# coalescing on/off under the seeded scheduler (see internal/sim). Replay
+# any failing line from sim-failures.txt with SIM_REPLAY=....
+SIM_SEEDS ?= 200
+sim:
+	SIM_SWEEP_SEEDS=$(SIM_SEEDS) SIM_SWEEP_OUT=$(CURDIR)/sim-failures.txt \
+		$(GO) test ./internal/sim/ -run TestSimSweep -v
+
+# Short native-fuzzing burst over every fuzz target (one -fuzz per
+# invocation, as go test requires). FUZZTIME=30s matches the CI job.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/stream/ -fuzz FuzzReadText -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/stream/ -fuzz FuzzReadBinary -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/core/ -fuzz FuzzReadCheckpoint -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/sim/ -fuzz FuzzSimDifferential -fuzztime $(FUZZTIME) -run '^$$'
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -35,6 +35,11 @@ var (
 	ckptMagic   = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '2'}
 )
 
+// maxCheckpointRanks bounds the rank count a checkpoint header may claim.
+// Far above any real deployment; its job is to keep a corrupt header from
+// sizing the engine allocation.
+const maxCheckpointRanks = 1 << 16
+
 // CheckpointMeta is the run metadata recorded in a (v2) checkpoint.
 type CheckpointMeta struct {
 	// Ingested is the number of topology events the writing run had pulled
@@ -132,6 +137,12 @@ func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, er
 	ranks, err := readU32()
 	if err != nil {
 		return nil, err
+	}
+	// Validate before New: a corrupt rank word must not drive the engine
+	// allocation (ranks=0 silently became a 1-rank engine; a huge value
+	// allocated that many rank structs before any shard data was read).
+	if ranks < 1 || ranks > maxCheckpointRanks {
+		return nil, fmt.Errorf("core: checkpoint rank count %d out of range [1, %d]", ranks, maxCheckpointRanks)
 	}
 	flags, err := readU32()
 	if err != nil {

@@ -98,7 +98,13 @@ func (c *coalescer) combineInto(r *rank, dest int, ev *Event) bool {
 	if buf == nil || buf.Kind != KindUpdate {
 		return false
 	}
-	buf.Val = c.combine[ev.Algo](buf.Val, ev.Val)
+	old := buf.Val
+	buf.Val = c.combine[ev.Algo](old, ev.Val)
+	if r.eng.simMergeHook != nil {
+		// Simulation seam: lets a checker assert the merged value subsumes
+		// both inputs (nil in production).
+		r.eng.simMergeHook(ev.Algo, ev.To, old, ev.Val, buf.Val)
+	}
 	return true
 }
 

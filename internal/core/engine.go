@@ -122,6 +122,17 @@ type Engine struct {
 	// was built from (zero if built fresh).
 	loadedMeta CheckpointMeta
 
+	// Deterministic-simulation seam (see sim.go and internal/sim). All of
+	// these are nil/false in production: simManual marks an engine driven
+	// one micro-step at a time by a SimDriver instead of rank goroutines;
+	// the hooks let a checker observe flushed batches and coalescer merges;
+	// simMutateBatch is the mutation-testing seam that may corrupt a batch
+	// after the observer saw the true order.
+	simManual      bool
+	simFlushHook   func(from, dest int, batch []Event)
+	simMutateBatch func(batch []Event)
+	simMergeHook   func(algo uint8, to graph.VertexID, old, offered, merged uint64)
+
 	// snapRequests counts SnapshotAsync calls (EngineStats.SnapshotsTaken).
 	snapRequests atomic.Uint64
 	// startNanos is Start's wall-clock time in UnixNano (0 before Start);
@@ -386,7 +397,11 @@ type QueryResult struct {
 // history; before Start or after termination it reads the state directly.
 func (e *Engine) QueryLocal(algo int, v graph.VertexID) QueryResult {
 	e.checkAlgo(algo)
-	if !e.started.Load() || e.finished.Load() {
+	if !e.started.Load() || e.finished.Load() || e.simManual {
+		// Under SimDriver control there are no rank goroutines to serve the
+		// request; the single driving goroutine reads the state directly,
+		// which is exactly as consistent (every instant is an event
+		// boundary).
 		return e.directQuery(algo, v)
 	}
 	r := e.ranks[e.part.Owner(v)]

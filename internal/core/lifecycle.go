@@ -72,7 +72,10 @@ func (e *Engine) State() State { return State(e.state.Load()) }
 // directly: no rank goroutine is mutating it (never started, terminated,
 // or parked at the pause barrier).
 func (e *Engine) mayInspect() bool {
-	return !e.started.Load() || e.finished.Load() || e.State() == StatePaused
+	// A sim-driven engine has no rank goroutines at all: the single driving
+	// goroutine may read between any two micro-steps.
+	return !e.started.Load() || e.finished.Load() || e.State() == StatePaused ||
+		e.simManual
 }
 
 // ingestHalted reports whether ranks must stop pulling topology events

@@ -134,6 +134,23 @@ func (l *lane) drainInto(out []Event) []Event {
 	}
 }
 
+// pending counts the published-but-undrained events in the lane. Consumer
+// side only (it walks the chunk list from head without consuming).
+func (l *lane) pending() int {
+	n := 0
+	c := l.head
+	read := l.read
+	for {
+		n += int(c.n.Load()) - read
+		next := c.next.Load()
+		if next == nil {
+			return n
+		}
+		c = next
+		read = 0
+	}
+}
+
 // newMailbox builds a mailbox with the given number of sender lanes (rank
 // count + 1; the last lane is the external one).
 func newMailbox(senders int) *mailbox {
@@ -212,6 +229,20 @@ func (m *mailbox) drain() []Event {
 		return nil
 	}
 	m.queued.Add(-int64(len(out)))
+	return out
+}
+
+// lanePending counts the undrained events in one lane. Consumer side only.
+func (m *mailbox) lanePending(i int) int { return m.lanes[i].pending() }
+
+// drainLane collects every published event from a single lane (the sim
+// driver's per-lane stepping granularity; the concurrent loop always drains
+// all lanes via drain). Consumer side only.
+func (m *mailbox) drainLane(i int) []Event {
+	out := m.lanes[i].drainInto(nil)
+	if len(out) > 0 {
+		m.queued.Add(-int64(len(out)))
+	}
 	return out
 }
 

@@ -180,8 +180,20 @@ func (r *rank) pullBurst() bool {
 }
 
 func (r *rank) pullStream() bool {
-	if r.streamDone || r.eng.ingestHalted() {
+	ev, ok := r.nextTopoEvent()
+	if !ok {
 		return false
+	}
+	r.deliver(r.eng.part.Owner(ev.To), ev)
+	return true
+}
+
+// nextTopoEvent pulls one topology event from the rank's stream and turns
+// it into a labeled, in-flight-registered engine event, without delivering
+// it (pullStream delivers; the sim driver delivers under its own schedule).
+func (r *rank) nextTopoEvent() (Event, bool) {
+	if r.streamDone || r.eng.ingestHalted() {
+		return Event{}, false
 	}
 	var ev graph.EdgeEvent
 	if live, isLive := r.stream.(stream.Live); isLive {
@@ -192,7 +204,7 @@ func (r *rank) pullStream() bool {
 				r.streamDone = true
 				r.eng.streamsLeft.Add(-1)
 			}
-			return false
+			return Event{}, false
 		}
 	} else {
 		var ok bool
@@ -200,7 +212,7 @@ func (r *rank) pullStream() bool {
 		if !ok {
 			r.streamDone = true
 			r.eng.streamsLeft.Add(-1)
-			return false
+			return Event{}, false
 		}
 	}
 	kind := KindAdd
@@ -213,12 +225,11 @@ func (r *rank) pullStream() bool {
 	// emissions.
 	out := Event{Kind: kind, Algo: NoAlgo, To: ev.Src, From: ev.Dst, W: ev.W}
 	r.eng.labelSeq(&out)
-	r.deliver(r.eng.part.Owner(out.To), out)
 	// Counted only after the in-flight increment: once Ingested() reports
 	// n, all n events are either in flight or fully processed, so
 	// Ingested()==pushed && Quiescent() is a sound "drained" check.
 	r.eng.ingested.Add(1)
-	return true
+	return out, true
 }
 
 // emit routes a callback-generated event; the child inherits its parent's
@@ -291,12 +302,42 @@ func (r *rank) drainSelf() {
 	r.coal.barrier(r.id)
 }
 
+// drainSelfOne processes exactly one self-ring event (the sim driver's
+// stepping granularity), invoking pre (if non-nil) with the event before it
+// runs. The ring reset and coalescer barrier mirror drainSelf's.
+func (r *rank) drainSelfOne(pre func(Event)) bool {
+	if !r.selfPending() {
+		return false
+	}
+	ev := r.self[r.selfHead]
+	r.selfHead++
+	if pre != nil {
+		pre(ev)
+	}
+	r.process(&ev)
+	if !r.selfPending() {
+		r.self = r.self[:0]
+		r.selfHead = 0
+		r.coal.barrier(r.id)
+	}
+	return true
+}
+
 func (r *rank) flush(dest int) {
 	if len(r.out[dest]) == 0 {
 		return
 	}
 	// The buffered positions the coalescer remembered are gone.
 	r.coal.barrier(dest)
+	// Simulation seam: the observer sees the true batch order, then the
+	// mutation hook (mutation testing only) may corrupt it. Both are nil in
+	// production, costing one predictable branch per flushed batch.
+	if r.eng.simFlushHook != nil {
+		r.eng.simFlushHook(r.id, dest, r.out[dest])
+	}
+	if r.eng.simMutateBatch != nil {
+		r.eng.simMutateBatch(r.out[dest])
+	}
 	// Counted at flush, not per send: one pair of adds amortized over the
 	// whole outbound batch.
 	r.counters.sentTo[dest].Add(uint64(len(r.out[dest])))

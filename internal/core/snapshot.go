@@ -98,6 +98,21 @@ func (s *Snapshot) wait() {
 	}
 }
 
+// Ready reports whether the snapshot has finalized (Wait would return
+// without blocking).
+func (s *Snapshot) Ready() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Marker returns the snapshot's version marker: the collected cut contains
+// exactly the effects of events labeled with a smaller sequence.
+func (s *Snapshot) Marker() uint32 { return s.marker }
+
 // Latency returns the time from the snapshot request to finalization —
 // the quantity Fig. 4 plots against a from-scratch static recompute.
 func (s *Snapshot) Latency() time.Duration {

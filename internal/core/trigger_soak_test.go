@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/csr"
+	"incregraph/internal/gen"
+	"incregraph/internal/graph"
+	"incregraph/internal/static"
+	"incregraph/internal/stream"
+)
+
+// TestTriggerSnapshotPauseSoak exercises the full control plane at once,
+// under the race detector in CI: live external ingestion through
+// stream.Chan pushers, a standing "When" trigger, and a control loop that
+// keeps pausing, resuming, and snapshotting while events flow. It then
+// asserts the paper's §III-E trigger guarantees — exactly one firing per
+// vertex, no false positives — plus snapshot monotonicity and the final
+// differential, across the pause/resume boundaries.
+func TestTriggerSnapshotPauseSoak(t *testing.T) {
+	for _, ranks := range []int{3, 4} {
+		t.Run(fmt.Sprintf("ranks-%d", ranks), func(t *testing.T) { runTriggerSoak(t, ranks) })
+	}
+}
+
+func runTriggerSoak(t *testing.T, ranks int) {
+	edges := gen.ErdosRenyi(1200, 6000, 8, int64(ranks)*17+1)
+	src := edges[0].Src
+	const bound = 4 // fire when a vertex proves to be within 4 hops of src
+
+	e := core.New(core.Options{Ranks: ranks, Undirected: true}, algo.BFS{})
+	type firing struct {
+		count int
+		val   uint64 // value at the first firing
+	}
+	var mu sync.Mutex
+	fired := make(map[graph.VertexID]*firing)
+	e.When(0,
+		func(_ graph.VertexID, val uint64) bool {
+			return val != core.Unset && val != core.Infinity && val <= bound
+		},
+		func(v graph.VertexID, val uint64) {
+			mu.Lock()
+			f := fired[v]
+			if f == nil {
+				f = &firing{}
+				fired[v] = f
+			}
+			f.count++
+			if f.count == 1 {
+				f.val = val
+			}
+			mu.Unlock()
+		})
+	e.InitVertex(0, src)
+
+	chans := make([]*stream.Chan, ranks)
+	streams := make([]stream.Stream, ranks)
+	for i := range chans {
+		chans[i] = stream.NewChan()
+		streams[i] = chans[i]
+	}
+	if err := e.Start(streams); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live pushers: each rank's stream receives its share of the edges in
+	// small chunks, so ingestion is still in flight while the control loop
+	// pauses and snapshots.
+	var wg sync.WaitGroup
+	for i := range chans {
+		wg.Add(1)
+		go func(ch *stream.Chan, part []graph.Edge) {
+			defer wg.Done()
+			for len(part) > 0 {
+				n := 64
+				if n > len(part) {
+					n = len(part)
+				}
+				for _, ed := range part[:n] {
+					ch.PushEdge(ed)
+				}
+				part = part[n:]
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(chans[i], edges[i*len(edges)/ranks:(i+1)*len(edges)/ranks])
+	}
+
+	// Control loop: pause/resume churn with snapshots requested both while
+	// paused and while running.
+	var snaps []*core.Snapshot
+	for cycle := 0; cycle < 15; cycle++ {
+		time.Sleep(time.Millisecond)
+		if err := e.Pause(); err != nil {
+			t.Fatalf("cycle %d: pause: %v", cycle, err)
+		}
+		if cycle%3 == 0 {
+			snaps = append(snaps, e.SnapshotAsync(0))
+		}
+		if err := e.Resume(); err != nil {
+			t.Fatalf("cycle %d: resume: %v", cycle, err)
+		}
+		if cycle%3 == 1 {
+			snaps = append(snaps, e.SnapshotAsync(0))
+		}
+	}
+
+	// Streams close only after the control loop is done, so the engine
+	// cannot terminate out from under a Pause.
+	wg.Wait()
+	for _, ch := range chans {
+		ch.Close()
+	}
+	e.Wait()
+	final := e.CollectMap(0)
+
+	// Final differential against the static recompute.
+	want := static.BFS(csr.Build(edges, true), src)
+	for v, d := range want {
+		if fv, ok := final[graph.VertexID(v)]; ok {
+			wd := d
+			if wd == static.Unreached {
+				wd = core.Infinity
+			}
+			if fv != wd && !(fv == core.Unset && wd == core.Infinity) {
+				t.Fatalf("vertex %d: final %d, static %d", v, fv, wd)
+			}
+		}
+	}
+
+	// Trigger guarantees. Exactly-once: no vertex fires twice, even across
+	// pause/resume churn. No false positives: a firing's value must be a
+	// true distance bound — at or above the converged distance, within the
+	// predicate's bound. Completeness: every vertex that converged within
+	// the bound fired.
+	mu.Lock()
+	defer mu.Unlock()
+	for v, f := range fired {
+		if f.count != 1 {
+			t.Errorf("vertex %d fired %d times", v, f.count)
+		}
+		fv, ok := final[v]
+		if !ok {
+			t.Errorf("vertex %d fired but is absent from the final state", v)
+			continue
+		}
+		if f.val == core.Unset || f.val > bound {
+			t.Errorf("vertex %d fired with out-of-predicate value %d", v, f.val)
+		}
+		if fv > f.val {
+			t.Errorf("vertex %d fired at %d but finished worse, at %d", v, f.val, fv)
+		}
+	}
+	for v, fv := range final {
+		if fv != core.Unset && fv != core.Infinity && fv <= bound {
+			if _, ok := fired[v]; !ok {
+				t.Errorf("vertex %d converged to %d ≤ %d but never fired", v, fv, bound)
+			}
+		}
+	}
+
+	// Snapshot monotonicity: a snapshot may only be behind (or equal to)
+	// the final state, never ahead of it, and may not invent vertices.
+	for i, s := range snaps {
+		for _, vv := range s.Wait() {
+			fv, ok := final[vv.ID]
+			if !ok {
+				t.Errorf("snapshot %d: vertex %d does not exist in the final state", i, vv.ID)
+				continue
+			}
+			sv, f := vv.Val, fv
+			if sv == core.Unset {
+				sv = core.Infinity
+			}
+			if f == core.Unset {
+				f = core.Infinity
+			}
+			if f > sv {
+				t.Errorf("snapshot %d: vertex %d at %d is ahead of the final state %d", i, vv.ID, sv, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"incregraph/internal/core"
+	"incregraph/internal/graph"
+)
+
+// order is the monotone direction of a REMO program's per-vertex state:
+// the descent of the distance algorithms (under the Unset→Infinity
+// normalization), the ascent of widest-path, or the bit-growth of multi
+// S-T connectivity.
+type order uint8
+
+const (
+	orderDescend order = iota
+	orderAscend
+	orderBits
+)
+
+func normInf(v uint64) uint64 {
+	if v == core.Unset {
+		return core.Infinity
+	}
+	return v
+}
+
+// subsumes reports whether value a is at least as converged as value b
+// under the order — the relation every state transition, query pair, and
+// coalescer merge must respect.
+func (o order) subsumes(a, b uint64) bool {
+	switch o {
+	case orderDescend:
+		return normInf(a) <= normInf(b)
+	case orderAscend:
+		return a >= b
+	default: // orderBits
+		return b&^a == 0
+	}
+}
+
+// maxViolations caps how many violations one run records; a broken engine
+// tends to fail everywhere, and the first few are the informative ones.
+const maxViolations = 16
+
+// checker is the invariant observer of one simulated run: it shadows
+// every flushed batch to verify per-sender FIFO delivery, watches each
+// processed event's snapshot version, audits in-flight-ring conservation
+// after every scheduler step, and (through the monitored program wrapper)
+// asserts that no callback ever moves a vertex against the program's
+// monotone direction.
+type checker struct {
+	d     *core.SimDriver
+	ord   order
+	ranks int
+
+	violations []string
+	// fifo[{sender,dest}] is the shadow queue of events flushed from
+	// sender to dest and not yet observed at dest's drain.
+	fifo      map[[2]int][]core.Event
+	lastQuery map[graph.VertexID]uint64
+	processed int
+	merges    int
+}
+
+func newChecker(ord order, ranks int) *checker {
+	return &checker{
+		ord:       ord,
+		ranks:     ranks,
+		fifo:      make(map[[2]int][]core.Event),
+		lastQuery: make(map[graph.VertexID]uint64),
+	}
+}
+
+func (c *checker) violatef(format string, args ...any) {
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// onFlush records the true order of a flushed batch (installed as the
+// driver's flush hook, which runs before any mutation corrupts it).
+func (c *checker) onFlush(from, dest int, batch []core.Event) {
+	key := [2]int{from, dest}
+	c.fifo[key] = append(c.fifo[key], batch...)
+}
+
+// onProcess validates one event as the destination rank picks it up.
+// lane is the mailbox lane it arrived on, or -1 for the self ring.
+func (c *checker) onProcess(dest, lane int, ev core.Event) {
+	c.processed++
+	// Snapshot-version consistency: snapshots are serialized, so the only
+	// sequences that may be live are the current one and — while a
+	// snapshot is still collecting — the one before its marker.
+	seq := c.d.SnapSeq()
+	if ev.Seq != seq && !(c.d.SnapshotActive() && ev.Seq+1 == seq) {
+		c.violatef("version: %s event at vertex %d carries seq %d with engine at seq %d (snapshot active: %v)",
+			ev.Kind, ev.To, ev.Seq, seq, c.d.SnapshotActive())
+	}
+	if lane < 0 || lane >= c.ranks {
+		// Self-ring and external-lane events have no flush record.
+		return
+	}
+	key := [2]int{lane, dest}
+	q := c.fifo[key]
+	if len(q) == 0 {
+		c.violatef("fifo: rank %d drained a %s event for vertex %d from sender %d that was never flushed",
+			dest, ev.Kind, ev.To, lane)
+		return
+	}
+	if q[0] != ev {
+		c.violatef("fifo: sender %d → rank %d delivered %s(to=%d val=%d seq=%d), expected %s(to=%d val=%d seq=%d) — per-sender order broken",
+			lane, dest, ev.Kind, ev.To, ev.Val, ev.Seq, q[0].Kind, q[0].To, q[0].Val, q[0].Seq)
+	}
+	c.fifo[key] = q[1:]
+}
+
+// onMerge audits one coalescer merge: the merged value must subsume both
+// inputs, or the merge may have discarded progress.
+func (c *checker) onMerge(algo uint8, to graph.VertexID, old, offered, merged uint64) {
+	c.merges++
+	if !c.ord.subsumes(merged, old) || !c.ord.subsumes(merged, offered) {
+		c.violatef("combine: merge for vertex %d produced %d from (%d, %d), which does not subsume both inputs",
+			to, merged, old, offered)
+	}
+}
+
+// afterStep audits in-flight-ring conservation: no slot negative, and the
+// ring total exactly equal to the number of events sitting in mailbox
+// lanes, outbound buffers, and self rings. Every scheduler step ends at an
+// event boundary where this must hold exactly.
+func (c *checker) afterStep() {
+	for i := 0; i < 4; i++ {
+		if n := c.d.InflightSlot(i); n < 0 {
+			c.violatef("conservation: in-flight ring slot %d is negative (%d)", i, n)
+		}
+	}
+	if got, want := c.d.InflightTotal(), int64(c.d.BufferedEvents()); got != want {
+		c.violatef("conservation: in-flight ring counts %d but %d events are buffered", got, want)
+	}
+}
+
+// observeQuery folds a live local-state observation into the monotone
+// history: a vertex may never disappear or regress between observations.
+func (c *checker) observeQuery(v graph.VertexID, res core.QueryResult) {
+	prev, seen := c.lastQuery[v]
+	if seen && !res.Exists {
+		c.violatef("query: vertex %d existed (value %d) and then disappeared", v, prev)
+		return
+	}
+	if !res.Exists {
+		return
+	}
+	if seen && !c.ord.subsumes(res.Value, prev) {
+		c.violatef("query: vertex %d regressed from %d to %d between observations", v, prev, res.Value)
+	}
+	c.lastQuery[v] = res.Value
+}
+
+// finalChecks runs once the engine has terminated: every flushed event
+// must have been delivered, and the final state must subsume every value
+// ever observed by a query.
+func (c *checker) finalChecks(final map[graph.VertexID]uint64) {
+	keys := make([][2]int, 0, len(c.fifo))
+	for k := range c.fifo {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	for _, k := range keys {
+		if n := len(c.fifo[k]); n != 0 {
+			c.violatef("fifo: %d events flushed %d → %d were never delivered", n, k[0], k[1])
+		}
+	}
+	qs := make([]graph.VertexID, 0, len(c.lastQuery))
+	for v := range c.lastQuery {
+		qs = append(qs, v)
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	for _, v := range qs {
+		fv, ok := final[v]
+		if !ok {
+			c.violatef("final: vertex %d was observed at %d but is absent from the final state", v, c.lastQuery[v])
+			continue
+		}
+		if !c.ord.subsumes(fv, c.lastQuery[v]) {
+			c.violatef("final: vertex %d finished at %d, behind the %d a mid-run query observed", v, fv, c.lastQuery[v])
+		}
+	}
+}
+
+// monitored wraps a REMO program so every callback's effect on the
+// visited vertex is checked against the program's monotone direction —
+// on both the live view and (during snapshots) the previous-version view.
+type monitored struct {
+	inner core.Program
+	chk   *checker
+}
+
+func (m monitored) guard(stage string, ctx *core.Ctx, f func()) {
+	before := ctx.Value()
+	f()
+	if after := ctx.Value(); !m.chk.ord.subsumes(after, before) {
+		m.chk.violatef("monotone: %s moved vertex %d from %d to %d against the program's direction",
+			stage, ctx.Vertex(), before, after)
+	}
+}
+
+func (m monitored) Init(ctx *core.Ctx) {
+	m.guard("Init", ctx, func() { m.inner.Init(ctx) })
+}
+
+func (m monitored) OnAdd(ctx *core.Ctx, nbr graph.VertexID, w graph.Weight) {
+	m.guard("OnAdd", ctx, func() { m.inner.OnAdd(ctx, nbr, w) })
+}
+
+func (m monitored) OnReverseAdd(ctx *core.Ctx, nbr graph.VertexID, nbrVal uint64, w graph.Weight) {
+	m.guard("OnReverseAdd", ctx, func() { m.inner.OnReverseAdd(ctx, nbr, nbrVal, w) })
+}
+
+func (m monitored) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w graph.Weight) {
+	m.guard("OnUpdate", ctx, func() { m.inner.OnUpdate(ctx, from, fromVal, w) })
+}
+
+// monitoredCombiner additionally forwards the Combine hook, so wrapping a
+// Combiner does not silently disable coalescing.
+type monitoredCombiner struct {
+	monitored
+	comb core.Combiner
+}
+
+func (m monitoredCombiner) Combine(old, new uint64) uint64 { return m.comb.Combine(old, new) }
+
+// monitor wraps p with monotonicity checking, preserving its Combiner
+// implementation if it has one.
+func monitor(p core.Program, chk *checker) core.Program {
+	m := monitored{inner: p, chk: chk}
+	if comb, ok := p.(core.Combiner); ok {
+		return monitoredCombiner{monitored: m, comb: comb}
+	}
+	return m
+}

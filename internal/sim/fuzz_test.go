@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"incregraph/internal/graph"
+)
+
+// fuzzConfig decodes the fuzzer's raw inputs into a run Config: sel packs
+// the algorithm, rank count, and coalescing switch; raw (3 bytes per
+// edge) shapes the graph directly, falling back to the seeded generator
+// when too short to hold an edge.
+func fuzzConfig(graphSeed, schedSeed int64, sel uint64, raw []byte) Config {
+	cfg := Config{
+		Algo:         Algo(sel % uint64(numAlgos)),
+		GraphSeed:    graphSeed,
+		ScheduleSeed: schedSeed,
+		Ranks:        int(sel/8)%4 + 1,
+		NoCoalesce:   sel&0x80 != 0,
+	}
+	if len(raw) > 900 {
+		raw = raw[:900] // keep individual runs fast
+	}
+	for i := 0; i+2 < len(raw); i += 3 {
+		cfg.Edges = append(cfg.Edges, graph.Edge{
+			Src: graph.VertexID(raw[i] % 32),
+			Dst: graph.VertexID(raw[i+1] % 32),
+			W:   graph.Weight(raw[i+2]%4 + 1),
+		})
+	}
+	return cfg
+}
+
+// FuzzSimDifferential is the differential fuzzing entry point: the fuzzer
+// owns the graph shape, the schedule seed, the algorithm, the rank count,
+// and the coalescing switch; every generated run must converge to the
+// static recomputation with all invariants intact.
+func FuzzSimDifferential(f *testing.F) {
+	f.Add(int64(1), int64(2), uint64(0), []byte{})
+	f.Add(int64(3), int64(4), uint64(1), []byte{0, 1, 1, 1, 2, 1, 2, 3, 2})
+	f.Add(int64(5), int64(6), uint64(10), []byte{7, 7, 1, 0, 7, 3})
+	f.Add(int64(7), int64(8), uint64(0x82), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(int64(9), int64(10), uint64(27), []byte{31, 0, 1, 0, 31, 2, 15, 16, 3})
+	f.Fuzz(func(t *testing.T, graphSeed, schedSeed int64, sel uint64, raw []byte) {
+		cfg := fuzzConfig(graphSeed, schedSeed, sel, raw)
+		res := Run(cfg)
+		if res.Failed() {
+			t.Fatalf("run %+v failed:\n  %s", cfg, strings.Join(res.Violations, "\n  "))
+		}
+	})
+}

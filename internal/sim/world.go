@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/csr"
+	"incregraph/internal/graph"
+	"incregraph/internal/static"
+)
+
+// Algo selects which REMO vertex program a simulated run exercises.
+type Algo uint8
+
+// The four algorithm families of the paper's evaluation (§IV), with BFS
+// and SSSP counted separately since they differ in weight handling.
+const (
+	BFS Algo = iota
+	SSSP
+	CC
+	MultiST
+	Widest
+	numAlgos
+)
+
+// String returns the algorithm name used in seeds files and SIM_REPLAY.
+func (a Algo) String() string {
+	switch a {
+	case BFS:
+		return "bfs"
+	case SSSP:
+		return "sssp"
+	case CC:
+		return "cc"
+	case MultiST:
+		return "st"
+	case Widest:
+		return "widest"
+	default:
+		return fmt.Sprintf("algo(%d)", uint8(a))
+	}
+}
+
+// ParseAlgo is the inverse of String.
+func ParseAlgo(s string) (Algo, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "bfs":
+		return BFS, nil
+	case "sssp":
+		return SSSP, nil
+	case "cc":
+		return CC, nil
+	case "st", "multist":
+		return MultiST, nil
+	case "widest":
+		return Widest, nil
+	}
+	return 0, fmt.Errorf("sim: unknown algorithm %q", s)
+}
+
+// world is one generated problem instance: an add-only edge stream plus
+// the source vertices the algorithms are rooted at.
+type world struct {
+	edges   []graph.Edge
+	src     graph.VertexID
+	sources []graph.VertexID
+}
+
+// genWorld derives a problem instance deterministically from the graph
+// seed. Vertex IDs are drawn from a slightly larger space than the edge
+// endpoints so isolated sources (vertices with no edges) occur regularly.
+func genWorld(cfg Config, rng *rand.Rand) *world {
+	w := &world{}
+	if len(cfg.Edges) > 0 {
+		w.edges = append(w.edges, cfg.Edges...)
+	} else {
+		v := 4 + rng.Intn(cfg.Vertices)
+		n := 1 + rng.Intn(cfg.Events)
+		w.edges = make([]graph.Edge, n)
+		for i := range w.edges {
+			w.edges[i] = graph.Edge{
+				Src: graph.VertexID(rng.Intn(v)),
+				Dst: graph.VertexID(rng.Intn(v)),
+				W:   graph.Weight(1 + rng.Intn(cfg.MaxWeight)),
+			}
+		}
+	}
+	var maxID graph.VertexID
+	for _, e := range w.edges {
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+	}
+	// span covers every endpoint plus one fresh ID, so sources sometimes
+	// land on vertices the stream never creates.
+	span := int(maxID) + 2
+	w.src = graph.VertexID(rng.Intn(span))
+	// Multi-source S-T connectivity needs DISTINCT sources: algo.NewMultiST
+	// assigns one bit per distinct vertex while static.MultiST assigns one
+	// bit per list position, so a duplicated source would diverge.
+	nSrc := 1 + rng.Intn(3)
+	if nSrc > span {
+		nSrc = span
+	}
+	perm := rng.Perm(span)
+	for i := 0; i < nSrc; i++ {
+		w.sources = append(w.sources, graph.VertexID(perm[i]))
+	}
+	return w
+}
+
+// spec ties an Algo to its program constructor, its monotone direction,
+// the vertices to InitVertex, its weight policy, and the static oracle
+// the differential check compares against.
+type spec struct {
+	name   string
+	weight graph.WeightPolicy
+	ord    order
+	// omitZero: the engine may legitimately omit vertices whose value is
+	// still zero (Unset) from snapshots and final state, so the oracle
+	// comparison treats "absent" and "zero" as equal.
+	omitZero bool
+	prog     func(w *world) core.Program
+	inits    func(w *world) []graph.VertexID
+	// oracle recomputes the converged state from scratch over the given
+	// edge prefix and the sources already initialized at the cut.
+	oracle func(w *world, edges []graph.Edge, inited []graph.VertexID) map[graph.VertexID]uint64
+}
+
+func specFor(a Algo) spec {
+	switch a {
+	case BFS:
+		return spec{
+			name: "bfs", ord: orderDescend,
+			prog:   func(*world) core.Program { return algo.BFS{} },
+			inits:  func(w *world) []graph.VertexID { return []graph.VertexID{w.src} },
+			oracle: bfsOracle,
+		}
+	case SSSP:
+		return spec{
+			name: "sssp", ord: orderDescend,
+			prog:   func(*world) core.Program { return algo.SSSP{} },
+			inits:  func(w *world) []graph.VertexID { return []graph.VertexID{w.src} },
+			oracle: ssspOracle,
+		}
+	case CC:
+		return spec{
+			name: "cc", ord: orderDescend,
+			prog: func(*world) core.Program { return algo.CC{} },
+			// CC self-initializes on vertex creation; an explicit InitVertex
+			// would create a vertex the static oracle never sees.
+			inits:  func(*world) []graph.VertexID { return nil },
+			oracle: ccOracle,
+		}
+	case MultiST:
+		return spec{
+			name: "st", ord: orderBits, omitZero: true,
+			prog:   func(w *world) core.Program { return algo.NewMultiST(w.sources) },
+			inits:  func(w *world) []graph.VertexID { return w.sources },
+			oracle: stOracle,
+		}
+	case Widest:
+		return spec{
+			name: "widest", weight: graph.WeightMax, ord: orderAscend, omitZero: true,
+			prog:   func(*world) core.Program { return algo.Widest{} },
+			inits:  func(w *world) []graph.VertexID { return []graph.VertexID{w.src} },
+			oracle: widestOracle,
+		}
+	default:
+		panic(fmt.Sprintf("sim: bad algo %d", a))
+	}
+}
+
+// presentSet is the vertex set the engine materializes for a given cut:
+// every edge endpoint plus every explicitly initialized vertex.
+func presentSet(edges []graph.Edge, inited []graph.VertexID) map[graph.VertexID]bool {
+	present := make(map[graph.VertexID]bool, 2*len(edges)+len(inited))
+	for _, e := range edges {
+		present[e.Src] = true
+		present[e.Dst] = true
+	}
+	for _, v := range inited {
+		present[v] = true
+	}
+	return present
+}
+
+func bfsOracle(w *world, edges []graph.Edge, inited []graph.VertexID) map[graph.VertexID]uint64 {
+	return distanceOracle(w, edges, inited, static.BFS, 1)
+}
+
+func ssspOracle(w *world, edges []graph.Edge, inited []graph.VertexID) map[graph.VertexID]uint64 {
+	return distanceOracle(w, edges, inited, static.Dijkstra, 1)
+}
+
+// distanceOracle covers BFS and SSSP: every present vertex is Infinity
+// until the source has been initialized, after which distances follow the
+// static recomputation (source = 1 even when isolated or off-graph).
+func distanceOracle(w *world, edges []graph.Edge, inited []graph.VertexID,
+	compute func(t static.Topology, src graph.VertexID) []uint64, srcVal uint64) map[graph.VertexID]uint64 {
+	present := presentSet(edges, inited)
+	m := make(map[graph.VertexID]uint64, len(present))
+	srcInited := false
+	for _, v := range inited {
+		if v == w.src {
+			srcInited = true
+		}
+	}
+	if !srcInited {
+		for v := range present {
+			m[v] = core.Infinity
+		}
+		return m
+	}
+	t := csr.Build(edges, true)
+	var dist []uint64
+	if int(w.src) < t.NumVertices() {
+		dist = compute(t, w.src)
+	}
+	for v := range present {
+		d := static.Unreached
+		if int(v) < len(dist) {
+			d = dist[v]
+		}
+		if v == w.src && d == static.Unreached {
+			d = srcVal // isolated or off-graph source still knows itself
+		}
+		m[v] = d
+	}
+	return m
+}
+
+// ccOracle: the converged label of every edge endpoint is the minimum
+// graph.CCLabel over its component (matching the union-find recompute).
+func ccOracle(_ *world, edges []graph.Edge, _ []graph.VertexID) map[graph.VertexID]uint64 {
+	present := presentSet(edges, nil)
+	m := make(map[graph.VertexID]uint64, len(present))
+	if len(edges) == 0 {
+		return m
+	}
+	t := csr.Build(edges, true)
+	labels := static.ConnectedComponents(t)
+	for v := range present {
+		m[v] = labels[v]
+	}
+	return m
+}
+
+// stOracle: the full multi-source reachability bitmask, restricted to the
+// sources already initialized at the cut — an uninitialized source's bit
+// cannot have entered the system yet. Absent/zero are equivalent.
+func stOracle(w *world, edges []graph.Edge, inited []graph.VertexID) map[graph.VertexID]uint64 {
+	present := presentSet(edges, inited)
+	// bit assigned to each source (w.sources are distinct by construction).
+	bits := make(map[graph.VertexID]uint64, len(w.sources))
+	for i, s := range w.sources {
+		bits[s] = 1 << uint(i)
+	}
+	var initedMask uint64
+	for _, v := range inited {
+		initedMask |= bits[v]
+	}
+	t := csr.Build(edges, true)
+	var full []uint64
+	if t.NumVertices() > 0 {
+		full = static.MultiST(t, w.sources)
+	}
+	m := make(map[graph.VertexID]uint64, len(present))
+	for v := range present {
+		var mask uint64
+		if int(v) < len(full) {
+			mask = full[v] & initedMask
+		}
+		m[v] = mask
+	}
+	// An initialized source always carries at least its own bit, even when
+	// isolated or outside the edge-built vertex space.
+	for _, v := range inited {
+		m[v] |= bits[v]
+	}
+	return m
+}
+
+// widestOracle: widest-path capacities under WeightMax merging; the source
+// is Infinity, unreached vertices 0. Absent/zero are equivalent.
+func widestOracle(w *world, edges []graph.Edge, inited []graph.VertexID) map[graph.VertexID]uint64 {
+	present := presentSet(edges, inited)
+	m := make(map[graph.VertexID]uint64, len(present))
+	srcInited := false
+	for _, v := range inited {
+		if v == w.src {
+			srcInited = true
+		}
+	}
+	if !srcInited {
+		return m
+	}
+	t := csr.Build(edges, true)
+	var width []uint64
+	if int(w.src) < t.NumVertices() {
+		width = static.WidestPath(t, w.src)
+	}
+	for v := range present {
+		var cap uint64
+		if int(v) < len(width) {
+			cap = width[v]
+		}
+		m[v] = cap
+	}
+	m[w.src] = core.Infinity
+	return m
+}
