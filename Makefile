@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race sim fuzz-smoke bench bench-json examples clean
+.PHONY: check fmt vet build test race sim fuzz-smoke bench bench-json metrics-smoke watch-demo examples clean
 
 check: fmt vet build test race
 
@@ -47,10 +47,20 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Machine-readable Figure 5 sweep (quick sizes), the artifact CI uploads
-# so the perf trajectory — ev/s plus self-delivery and coalescing
-# counters — is diffable across PRs.
+# so the perf trajectory — ev/s plus self-delivery, coalescing, and now
+# sampled latency percentiles — is diffable across PRs.
 bench-json:
-	$(GO) run ./cmd/paperbench bench -quick -json BENCH_PR3.json
+	$(GO) run ./cmd/paperbench bench -quick -json BENCH_PR5.json
+
+# Telemetry-pipeline smoke: the exposition golden/lint tests plus the
+# debug-endpoint suite (what the CI metrics job runs).
+metrics-smoke:
+	$(GO) test ./internal/metrics/ ./cmd/ingest/ -run 'Prom|Lint|Metrics|Stats|Debug|Lineage' -v
+
+# Live telemetry walkthrough: a small RMAT ingest with the -watch terminal
+# view (rates, lag, p50/p99/p999). Scale up -rmat to watch longer.
+watch-demo:
+	$(GO) run ./cmd/ingest -rmat 18 -ranks 4 -algo bfs -sample 64 -watch
 
 examples:
 	$(GO) run ./examples/quickstart

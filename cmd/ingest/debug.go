@@ -1,31 +1,45 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"incregraph"
 	"incregraph/internal/metrics"
 )
 
-// startDebugServer serves the engine's observability surface on addr:
+// The expvar registry is process-global and Publish panics on duplicates,
+// so the "engine" var is registered once and reads whichever graph the most
+// recent newDebugMux call installed (tests build several muxes).
+var (
+	dbgGraph    atomic.Pointer[incregraph.Graph]
+	publishOnce sync.Once
+)
+
+// newDebugMux builds the engine's observability surface:
 //
 //	/debug/vars   expvar JSON, including the live EngineStats under "engine"
 //	/debug/pprof  the standard Go profiling endpoints
-//	/stats        a plaintext human summary of the same counters
-//
-// The listener is bound before returning so a bad address fails fast; the
-// serve loop runs for the life of the process (the socket dies with it).
-func startDebugServer(addr string, g *incregraph.Graph) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("debug listener: %w", err)
-	}
-	expvar.Publish("engine", expvar.Func(func() any { return g.Stats() }))
+//	/stats        human-readable counters; ?format=json for the raw struct
+//	/metrics      Prometheus text exposition (counters, gauges, histograms)
+//	/lineage      the most recent sampled cascades as causal trees
+func newDebugMux(g *incregraph.Graph) *http.ServeMux {
+	dbgGraph.Store(g)
+	publishOnce.Do(func() {
+		expvar.Publish("engine", expvar.Func(func() any {
+			if cur := dbgGraph.Load(); cur != nil {
+				return cur.Stats()
+			}
+			return nil
+		}))
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -33,11 +47,45 @@ func startDebugServer(addr string, g *incregraph.Graph) error {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		s := g.Stats()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(s) //nolint:errcheck // best-effort response write
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		writeStatsSummary(w, g.Stats())
+		writeStatsSummary(w, s)
 	})
-	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, g.Stats())
+	})
+	mux.HandleFunc("/lineage", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ls := g.Lineage()
+		if len(ls) == 0 {
+			fmt.Fprintln(w, "no completed lineages (sampling disabled, or no sampled cascade has quiesced yet)")
+			return
+		}
+		for _, l := range ls {
+			fmt.Fprintln(w, l.Tree())
+		}
+	})
+	return mux
+}
+
+// startDebugServer serves newDebugMux on addr. The listener is bound before
+// returning so a bad address fails fast; the serve loop runs for the life
+// of the process (the socket dies with it).
+func startDebugServer(addr string, g *incregraph.Graph) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	}
+	go http.Serve(ln, newDebugMux(g)) //nolint:errcheck // dies with the process
 	return nil
 }
 
@@ -58,17 +106,28 @@ func writeStatsSummary(w http.ResponseWriter, s incregraph.EngineStats) {
 		metrics.HumanCount(s.SelfDelivered), metrics.HumanCount(s.CombinedAway))
 	fmt.Fprintf(w, "cascades:  %s emissions, mailbox high-water %s\n",
 		metrics.HumanCount(s.CascadeEmits), metrics.HumanCount(s.MailboxHWM))
+	fmt.Fprintf(w, "lag:       %d in flight, mailbox depth %d\n",
+		s.InFlight, s.MailboxDepth)
+	if lat := s.Latency; lat.SampleEvery > 0 {
+		h := lat.IngestToQuiesce
+		fmt.Fprintf(w, "latency:   ingest→quiesce p50=%s p99=%s p99.9=%s mean=%s (n=%d, 1/%d sampled, %d dropped)\n",
+			h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Mean(),
+			h.Count, lat.SampleEvery, lat.Dropped)
+		fmt.Fprintf(w, "           mailbox p99=%s, drain p99=%s, flush-gap p50=%s\n",
+			lat.MailboxResidency.Quantile(0.99), lat.BatchDrain.Quantile(0.99),
+			lat.FlushInterval.Quantile(0.50))
+	}
 	fmt.Fprintf(w, "service:   %s queries, %d snapshots, parked %s\n",
 		metrics.HumanCount(s.QueriesServed), s.SnapshotsTaken,
 		s.ParkedTime.Round(time.Millisecond))
-	fmt.Fprintf(w, "\n%-5s %10s %10s %10s %10s %10s %10s %8s %9s\n",
-		"rank", "topo", "algo", "sent", "self", "combined", "drains", "hwm", "parked")
+	fmt.Fprintf(w, "\n%-5s %10s %10s %10s %10s %10s %10s %8s %8s %9s\n",
+		"rank", "topo", "algo", "sent", "self", "combined", "drains", "hwm", "depth", "parked")
 	for _, r := range s.PerRank {
 		var sent uint64
 		for _, n := range r.SentTo {
 			sent += n
 		}
-		fmt.Fprintf(w, "%-5d %10s %10s %10s %10s %10s %10s %8s %9s\n",
+		fmt.Fprintf(w, "%-5d %10s %10s %10s %10s %10s %10s %8s %8d %9s\n",
 			r.Rank,
 			metrics.HumanCount(r.Events.Topo()),
 			metrics.HumanCount(r.Events.Algo()),
@@ -77,6 +136,7 @@ func writeStatsSummary(w http.ResponseWriter, s incregraph.EngineStats) {
 			metrics.HumanCount(r.CombinedAway),
 			metrics.HumanCount(r.BatchesDrained),
 			metrics.HumanCount(r.MailboxHWM),
+			r.MailboxDepth,
 			r.ParkedTime.Round(time.Millisecond))
 	}
 }

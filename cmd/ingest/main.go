@@ -45,8 +45,10 @@ func main() {
 		sources = flag.Int("sources", 1, "st: number of connectivity sources")
 		src     = flag.Uint64("source", 0, "bfs/sssp source vertex (default: largest component)")
 		verify  = flag.Bool("verify", false, "check converged state against the static baseline")
-		dbgAddr = flag.String("debug.addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof), and a plaintext /stats summary on this address (e.g. localhost:6060)")
+		dbgAddr = flag.String("debug.addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof), Prometheus /metrics, /stats, and /lineage on this address (e.g. localhost:6060)")
 		traceN  = flag.Int("trace", 0, "keep a per-rank ring of the last N events for postmortem debugging")
+		sample  = flag.Int("sample", 0, "trace 1-in-N ingested events to cascade quiescence for latency histograms and lineage (0 = engine default 1024; negative disables)")
+		watch   = flag.Bool("watch", false, "render a live telemetry view (rates, lag, latency percentiles) while ingesting")
 	)
 	flag.Parse()
 
@@ -78,6 +80,7 @@ func main() {
 	g := incregraph.NewGraph(programs,
 		incregraph.WithRanks(*ranks),
 		incregraph.WithTraceDepth(*traceN),
+		incregraph.WithSampleEvery(*sample),
 	)
 	for _, v := range inits {
 		g.InitVertex(0, v)
@@ -86,7 +89,7 @@ func main() {
 		if err := startDebugServer(*dbgAddr, g); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("debug: serving /debug/vars, /debug/pprof, /stats on http://%s\n", *dbgAddr)
+		fmt.Printf("debug: serving /debug/vars, /debug/pprof, /metrics, /stats, /lineage on http://%s\n", *dbgAddr)
 	}
 
 	// Graceful shutdown: a first interrupt stops the engine at a quiescent
@@ -117,7 +120,14 @@ func main() {
 		streams = incregraph.SplitEdges(edges, *ranks)
 	}
 
+	var w *watcher
+	if *watch {
+		w = startWatcher(g, 500*time.Millisecond)
+	}
 	stats, err := g.Run(streams...)
+	if w != nil {
+		w.join()
+	}
 	if err != nil {
 		if interrupted.Load() {
 			// The interrupt landed before ingestion began (e.g. while the
@@ -134,6 +144,11 @@ func main() {
 		metrics.HumanCount(es.MessagesSent), metrics.HumanCount(es.Flushes),
 		es.BatchingFactor(), metrics.HumanCount(es.CascadeEmits),
 		metrics.HumanCount(es.MailboxHWM))
+	if lat := es.Latency; lat.SampleEvery > 0 && lat.IngestToQuiesce.Count > 0 {
+		h := lat.IngestToQuiesce
+		fmt.Printf("latency: ingest→quiesce p50=%s p99=%s p99.9=%s (n=%d, 1/%d sampled)\n",
+			h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Count, lat.SampleEvery)
+	}
 	if interrupted.Load() {
 		// The stopped state is a consistent prefix of the stream, but not
 		// the full dataset: skip the whole-input verification.

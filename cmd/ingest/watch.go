@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"incregraph"
+	"incregraph/internal/metrics"
+)
+
+// watcher renders a live terminal telemetry view of a running graph:
+// ingest/apply rates from snapshot deltas, lag gauges, and the sampled
+// latency percentiles. It owns stdout while running, so main starts it
+// right before Run and joins it (stop then <-done) before printing the
+// final report.
+type watcher struct {
+	g    *incregraph.Graph
+	out  io.Writer
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startWatcher(g *incregraph.Graph, interval time.Duration) *watcher {
+	w := &watcher{
+		g:    g,
+		out:  os.Stdout,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go w.loop(interval)
+	return w
+}
+
+// join stops the render loop and waits for the last frame to finish, so
+// the caller can print without interleaving.
+func (w *watcher) join() {
+	close(w.stop)
+	<-w.done
+}
+
+func (w *watcher) loop(interval time.Duration) {
+	defer close(w.done)
+	fmt.Fprint(w.out, "\x1b[2J") // clear once; frames then repaint in place
+	prev := w.g.Stats()
+	prevT := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			// Park the cursor below the last frame so the final report
+			// starts on a fresh line.
+			fmt.Fprintln(w.out)
+			return
+		case <-tick.C:
+		}
+		cur := w.g.Stats()
+		now := time.Now()
+		renderWatch(w.out, cur, prev, now.Sub(prevT))
+		prev, prevT = cur, now
+	}
+}
+
+// renderWatch paints one frame: cursor home, then each line cleared to the
+// right before being rewritten, so shrinking numbers leave no residue.
+func renderWatch(out io.Writer, cur, prev incregraph.EngineStats, dt time.Duration) {
+	var b strings.Builder
+	b.WriteString("\x1b[H")
+	line := func(format string, args ...any) {
+		b.WriteString("\x1b[2K")
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	rate := func(curN, prevN uint64) string {
+		if dt <= 0 {
+			return metrics.HumanRate(0)
+		}
+		return metrics.HumanRate(float64(curN-prevN) / dt.Seconds())
+	}
+
+	line("incregraph ingest — %s, uptime %s", cur.State, cur.Uptime.Round(100*time.Millisecond))
+	line("")
+	line("ingest    %12s   (total %s)", rate(cur.Ingested, prev.Ingested), metrics.HumanCount(cur.Ingested))
+	line("applied   %12s   topo, %12s algo", rate(cur.Events.Topo(), prev.Events.Topo()),
+		rate(cur.Events.Algo(), prev.Events.Algo()))
+	ingestLag := int64(cur.Ingested) - int64(cur.Events.Topo())
+	if ingestLag < 0 {
+		ingestLag = 0
+	}
+	line("lag       ingested−applied %d, in-flight %d, mailbox depth %d (hwm %s)",
+		ingestLag, cur.InFlight, cur.MailboxDepth, metrics.HumanCount(cur.MailboxHWM))
+	line("traffic   %12s msgs   %12s combined away   %12s self",
+		rate(cur.MessagesSent, prev.MessagesSent),
+		rate(cur.CombinedAway, prev.CombinedAway),
+		rate(cur.SelfDelivered, prev.SelfDelivered))
+	line("")
+	if lat := cur.Latency; lat.SampleEvery > 0 {
+		h := lat.IngestToQuiesce
+		line("latency   ingest→quiesce  p50 %-10s p99 %-10s p99.9 %-10s (n=%d, 1/%d)",
+			h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Count, lat.SampleEvery)
+		line("          mailbox p99 %-10s drain p99 %-10s flush-gap p50 %-10s",
+			lat.MailboxResidency.Quantile(0.99), lat.BatchDrain.Quantile(0.99),
+			lat.FlushInterval.Quantile(0.50))
+	} else {
+		line("latency   sampling disabled (-sample >= 0 to enable)")
+		line("")
+	}
+	b.WriteString("\x1b[2K")
+	io.WriteString(out, b.String()) //nolint:errcheck // terminal paint
+}

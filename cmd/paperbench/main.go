@@ -8,7 +8,7 @@
 //	paperbench all
 //	paperbench fig5 -scale 15 -ranks 1,2,4,8
 //	paperbench fig7 -quick
-//	paperbench bench -quick -json BENCH_PR3.json
+//	paperbench bench -quick -json BENCH_PR5.json
 //
 // Absolute rates will not match the authors' 3,072-core Catalyst cluster;
 // the reproduction target is the shape of each comparison, which every
@@ -74,7 +74,7 @@ func main() {
 	}
 
 	// `bench` is the machine-readable counterpart of fig5: the same sweep,
-	// emitted as JSON (BENCH_PR3.json in CI) so the perf trajectory — event
+	// emitted as JSON (BENCH_PR5.json in CI) so the perf trajectory — event
 	// rates plus the self-delivery and coalescing counters — is diffable
 	// across PRs instead of locked in prose tables.
 	if which == "bench" {

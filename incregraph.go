@@ -36,6 +36,17 @@ type (
 	// TraceEntry is one retained event of the postmortem trace ring (see
 	// WithTraceDepth and Graph.Trace).
 	TraceEntry = core.TraceEntry
+	// Lineage is the completed causal tree of one sampled edge event's
+	// cascade (see Graph.Lineage).
+	Lineage = core.Lineage
+	// LineageNode is one event of a traced cascade.
+	LineageNode = core.LineageNode
+	// LatencyStats is the aggregated latency view of EngineStats: the
+	// log-bucketed histograms plus the cascade sampler's accounting.
+	LatencyStats = core.LatencyStats
+	// HistogramSnapshot is a point-in-time copy of one latency histogram,
+	// with Quantile and Mean estimators.
+	HistogramSnapshot = core.HistogramSnapshot
 	// VertexValue pairs a vertex with its algorithm state.
 	VertexValue = core.VertexValue
 	// QueryResult is the answer to a local-state observation.
@@ -104,6 +115,15 @@ type Config struct {
 	// results are identical either way; the knob exists for ablation and
 	// debugging.
 	NoCoalesce bool
+	// SampleEvery is the cascade-latency sampling stride: each rank traces
+	// one ingested edge event per SampleEvery from stream pull to cascade
+	// quiescence, feeding Stats().Latency and Lineage(). 0 selects the
+	// default of 1024; negative disables sampling.
+	SampleEvery int
+	// LineageKeep is how many completed cascade lineage trees the graph
+	// retains for Lineage() (0 selects the default of 16; negative keeps
+	// none while the latency histograms still fill).
+	LineageKeep int
 }
 
 // WeightPolicy re-exports the duplicate-weight merge rules.
@@ -141,6 +161,8 @@ func New(cfg Config, programs ...Program) *Graph {
 		WeightPolicy: cfg.WeightPolicy,
 		TraceDepth:   cfg.TraceDepth,
 		NoCoalesce:   cfg.NoCoalesce,
+		SampleEvery:  cfg.SampleEvery,
+		LineageKeep:  cfg.LineageKeep,
 	}, programs...)}
 }
 
@@ -269,6 +291,15 @@ func (g *Graph) Stats() EngineStats { return g.eng.EngineStats() }
 // disabled). Like Collect it requires the graph to be paused, stopped, or
 // not yet started.
 func (g *Graph) Trace() []TraceEntry { return g.eng.Trace() }
+
+// Lineage returns the completed causal trees of the most recently sampled
+// edge-event cascades, oldest first: every event each sampled ingest
+// generated — including UPDATEs coalesced away before delivery — with
+// parent links, ranks, and the cascade's ingest-to-quiescence latency.
+// Retention is bounded by Config.LineageKeep; sampling frequency by
+// Config.SampleEvery. Legal in every lifecycle state (lineages are
+// immutable copies); nil when sampling is disabled.
+func (g *Graph) Lineage() []Lineage { return g.eng.Lineages() }
 
 // Ranks returns the configured rank count.
 func (g *Graph) Ranks() int { return g.eng.Ranks() }

@@ -86,17 +86,19 @@ func (c *coalescer) slot(ev *Event) *coalEntry {
 }
 
 // combineInto tries to merge ev into a still-buffered UPDATE with the same
-// key bound for dest. It returns true when the merge happened — the caller
-// then drops ev entirely (it was never registered in flight).
-func (c *coalescer) combineInto(r *rank, dest int, ev *Event) bool {
+// key bound for dest. It returns merged=true when the merge happened — the
+// caller then drops ev entirely (it was never registered in flight) — plus
+// the absorbing event's Trace, so a traced ev's lineage can record which
+// lineage combined it away (0 when the absorber is untraced).
+func (c *coalescer) combineInto(r *rank, dest int, ev *Event) (merged bool, into uint64) {
 	e := c.slot(ev)
 	if !e.live || e.dest != int32(dest) || e.epoch != c.epochs[dest] ||
 		e.to != ev.To || e.seq != ev.Seq || e.w != ev.W || e.algo != ev.Algo {
-		return false
+		return false, 0
 	}
 	buf := e.bufferedEvent(r, dest)
 	if buf == nil || buf.Kind != KindUpdate {
-		return false
+		return false, 0
 	}
 	old := buf.Val
 	buf.Val = c.combine[ev.Algo](old, ev.Val)
@@ -105,7 +107,7 @@ func (c *coalescer) combineInto(r *rank, dest int, ev *Event) bool {
 		// both inputs (nil in production).
 		r.eng.simMergeHook(ev.Algo, ev.To, old, ev.Val, buf.Val)
 	}
-	return true
+	return true, buf.Trace
 }
 
 // bufferedEvent resolves an entry's remembered position, defensively

@@ -50,6 +50,17 @@ type Options struct {
 	// identical either way (that equivalence is property-tested); the knob
 	// exists for ablation and debugging.
 	NoCoalesce bool
+	// SampleEvery is the cascade-latency sampling stride: each rank traces
+	// one ingested topology event per SampleEvery to cascade quiescence
+	// (see lineage.go), feeding the ingest-to-quiescence histogram and the
+	// lineage API. 0 selects the default of 1024; negative disables
+	// sampling entirely (untraced events cost only nil/zero checks either
+	// way).
+	SampleEvery int
+	// LineageKeep is how many completed lineage trees the engine retains
+	// for Lineages() (0 selects the default of 16; negative keeps none,
+	// histograms still fill).
+	LineageKeep int
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +72,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Partitioner == nil {
 		o.Partitioner = partition.NewHashed(o.Ranks)
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 1024
+	}
+	if o.LineageKeep == 0 {
+		o.LineageKeep = 16
 	}
 	return o
 }
@@ -79,6 +96,10 @@ type Engine struct {
 	combine  []combineFunc
 	triggers []trigger
 	ranks    []*rank
+	// traces is the cascade-lineage table (nil when Options.SampleEvery is
+	// negative — the only check the untraced hot path ever makes is
+	// Event.Trace == 0).
+	traces *traceTable
 
 	// inflight counts unprocessed events per snapshot-sequence ring slot
 	// (ring size 4 > the 2 sequences that can coexist). The engine is
@@ -173,6 +194,9 @@ func New(opts Options, programs ...Program) *Engine {
 		}
 	}
 	e.qCond = sync.NewCond(&e.qMu)
+	if opts.SampleEvery > 0 {
+		e.traces = newTraceTable(max(opts.LineageKeep, 0))
+	}
 	e.ranks = make([]*rank, opts.Ranks)
 	for i := range e.ranks {
 		e.ranks[i] = newRank(e, i)

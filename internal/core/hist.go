@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Latency histograms: HDR-style log-bucketed (power-of-two) histograms with
+// one atomic add per recorded sample. Each rank owns one rankLats block and
+// is its only writer on the hot paths (drain timing, flush intervals,
+// mailbox residency) — trace completions may land on whichever rank retired
+// the cascade's last event, which is why the buckets are atomic rather than
+// plain counters. Aggregation (EngineStats) reads with atomic loads from
+// any goroutine in any lifecycle state, like the counter blocks in stats.go.
+
+// HistBuckets is the bucket count of every latency histogram. Bucket i
+// holds samples v (in nanoseconds) with bits.Len64(v) == i, i.e.
+// v ∈ [2^(i-1), 2^i); bucket 0 holds exact zeros and the top bucket absorbs
+// everything at or beyond 2^(HistBuckets-2) ns (≈ 19.5 hours).
+const HistBuckets = 48
+
+// latHist is one live log-bucketed histogram.
+type latHist struct {
+	counts [HistBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds
+}
+
+// histBucket maps a nanosecond sample to its bucket index.
+func histBucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// record adds one nanosecond sample: three uncontended atomic adds.
+func (h *latHist) record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histBucket(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+}
+
+// snapshot reads the histogram with atomic loads (point-in-time view, not a
+// consistent cut — see EngineStats' contract).
+func (h *latHist) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of one latency histogram.
+// Buckets are non-cumulative: Buckets[i] counts samples in [2^(i-1), 2^i)
+// nanoseconds (Buckets[0] counts exact zeros; the top bucket absorbs
+// overflow). Count and SumNanos total the recorded samples.
+type HistogramSnapshot struct {
+	Count    uint64              `json:"count"`
+	SumNanos uint64              `json:"sum_nanos"`
+	Buckets  [HistBuckets]uint64 `json:"buckets"`
+}
+
+// add merges another snapshot into this one (per-rank aggregation).
+func (h *HistogramSnapshot) add(o HistogramSnapshot) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.SumNanos += o.SumNanos
+}
+
+// HistBucketBound returns the inclusive upper bound of bucket i: samples
+// counted there are ≤ this duration. The top bucket's bound is nominal
+// (samples beyond it are clamped in).
+func HistBucketBound(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return time.Duration(uint64(1)<<uint(i)) - 1
+}
+
+// Mean returns the arithmetic mean of the recorded samples (0 if none).
+func (h HistogramSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.SumNanos / h.Count)
+}
+
+// Quantile estimates the p-quantile (0 < p ≤ 1) of the recorded samples as
+// the upper bound of the bucket the quantile falls in — within one
+// power-of-two bucket of the true order statistic by construction. Returns
+// 0 when the histogram is empty.
+func (h HistogramSnapshot) Quantile(p float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(math.Ceil(p * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= target {
+			return HistBucketBound(i)
+		}
+	}
+	return HistBucketBound(HistBuckets - 1)
+}
+
+// rankLats is one rank's latency-histogram block; padded like rankCounters
+// so adjacent ranks' records never false-share.
+type rankLats struct {
+	_ [64]byte
+
+	// ingest is time from stream pull to cascade quiescence (the last
+	// descendant event of a sampled edge event retired) — the paper's
+	// per-update latency. Populated only when trace sampling is on.
+	ingest latHist
+	// mailbox is inbound residency: time from a producer's push to the
+	// owning rank's drain, sampled one pending stamp at a time.
+	mailbox latHist
+	// drain is the time to process one drained mailbox batch, sampled
+	// every latDrainStride batches.
+	drain latHist
+	// flushGap is the interval between consecutive outbound flushes of
+	// this rank — the cadence at which buffered events become visible.
+	flushGap latHist
+
+	_ [64]byte
+}
+
+// latDrainStride is the batch-drain sampling stride: one timed batch per
+// stride keeps the clock reads off the per-batch fast path.
+const latDrainStride = 16
+
+// LatencyStats is the aggregated latency view of EngineStats: the four
+// log-bucketed histograms summed over all ranks, plus the trace sampler's
+// own accounting.
+type LatencyStats struct {
+	// SampleEvery is the effective sampling stride (one traced cascade per
+	// SampleEvery ingested edge events per rank); 0 when tracing is off.
+	SampleEvery int `json:"sample_every"`
+	// Sampled counts cascades that were traced to quiescence; Dropped
+	// counts sampling points skipped because every trace slot was busy;
+	// Active is the number of traces currently in flight.
+	Sampled uint64 `json:"sampled"`
+	Dropped uint64 `json:"dropped"`
+	Active  int64  `json:"active"`
+	// IngestToQuiesce: stream pull → cascade quiescence, per sampled edge
+	// event. MailboxResidency: push → drain. BatchDrain: per-batch
+	// processing time. FlushInterval: gap between outbound flushes.
+	IngestToQuiesce  HistogramSnapshot `json:"ingest_to_quiesce"`
+	MailboxResidency HistogramSnapshot `json:"mailbox_residency"`
+	BatchDrain       HistogramSnapshot `json:"batch_drain"`
+	FlushInterval    HistogramSnapshot `json:"flush_interval"`
+}

@@ -61,6 +61,18 @@ func (s State) String() string {
 // (e.g. the expvar endpoint) see "running" rather than a bare integer.
 func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
+// UnmarshalText parses a state name, so EngineStats JSON (the /stats and
+// expvar endpoints) round-trips back into the typed struct.
+func (s *State) UnmarshalText(text []byte) error {
+	for _, c := range []State{StateIdle, StateRunning, StatePaused, StateStopped} {
+		if string(text) == c.String() {
+			*s = c
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown state %q", text)
+}
+
 // ErrStopped is returned by lifecycle transitions attempted on an engine
 // that has already terminated.
 var ErrStopped = errors.New("core: engine is stopped")

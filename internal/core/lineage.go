@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incregraph/internal/graph"
+)
+
+// Cascade lineage tracing: a sampled topology event carries a compact trace
+// ID (Event.Trace) through every hop of its cascade — mailbox lanes, the
+// self-delivery ring, and the coalescer — so the engine can (a) measure the
+// time from stream pull to cascade quiescence, the paper's real latency
+// promise, and (b) reconstruct the causal tree of every event the cascade
+// generated, including UPDATEs that were coalesced away before delivery.
+//
+// Trace encoding (0 = untraced, which is what every event is unless the
+// per-rank sampler picks it):
+//
+//	Trace = [ id : 32 ][ node : 32 ]
+//	id    = [ gen : 24 ][ slot+1 : 8 ]
+//
+// id names the lineage: slot+1 indexes the fixed trace table (nonzero by
+// construction, so a zero Trace can never collide with slot 0) and gen is a
+// monotone generation making reused slots distinguishable. node is the
+// event's index in the lineage's node list (0 = the sampled root event).
+//
+// Cost discipline: the unsampled hot path pays only Trace==0 branches — no
+// clock reads, no atomics. A sampled cascade pays one atomic pending
+// counter per event plus a short mutex-guarded append per generated node;
+// with the default 1-in-1024 sampling that cost vanishes into noise (see
+// EXPERIMENTS.md).
+
+// traceSlotCount is the number of concurrently traceable cascades. A full
+// table drops sampling points (counted in LatencyStats.Dropped) rather than
+// blocking the hot path.
+const traceSlotCount = 64
+
+// maxLineageNodes caps one lineage's recorded node list. A cascade that
+// outgrows it stops extending its trace (descendants run untraced, the
+// lineage is marked Truncated and retires early) so a pathological cascade
+// cannot hold its slot, or unbounded memory, forever.
+const maxLineageNodes = 1 << 14
+
+// packTrace assembles an Event.Trace value.
+func packTrace(id, node uint32) uint64 { return uint64(id)<<32 | uint64(node) }
+
+// DecodeTrace splits an Event.Trace into its lineage ID and node index;
+// ok is false for an untraced event.
+func DecodeTrace(t uint64) (id, node uint32, ok bool) {
+	if t == 0 {
+		return 0, 0, false
+	}
+	return uint32(t >> 32), uint32(t), true
+}
+
+// LineageNode is one event of a traced cascade, recorded at emission time.
+type LineageNode struct {
+	// ID is the node's index in Lineage.Nodes; Parent is the index of the
+	// event whose callback emitted this one (the root is its own parent).
+	ID     uint32 `json:"id"`
+	Parent uint32 `json:"parent"`
+	// Rank is the rank that emitted the event (for the root: that ingested
+	// it); the processing rank is the owner of To.
+	Rank int `json:"rank"`
+	// Event identity as emitted. Val is the value at emission time: a
+	// buffered UPDATE that later absorbs a merge is delivered with the
+	// combined value, which this snapshot deliberately predates.
+	Kind Kind           `json:"kind"`
+	Algo uint8          `json:"algo"`
+	To   graph.VertexID `json:"to"`
+	From graph.VertexID `json:"from"`
+	Val  uint64         `json:"val"`
+	W    graph.Weight   `json:"w"`
+	Seq  uint32         `json:"seq"`
+	// Merged marks an UPDATE that was coalesced into an already-buffered
+	// one and never delivered (the CombinedAway counter, explained);
+	// MergedInto is the lineage ID it was absorbed into (its own ID for an
+	// intra-lineage merge, 0 when the absorber was untraced).
+	Merged     bool   `json:"merged,omitempty"`
+	MergedInto uint32 `json:"merged_into,omitempty"`
+}
+
+// Lineage is the completed causal tree of one sampled topology event: every
+// event its cascade generated, in creation order, parent-linked.
+type Lineage struct {
+	// ID is the lineage's trace ID (gen<<8 | slot+1).
+	ID uint32 `json:"id"`
+	// StartUnixNanos is the wall-clock stream-pull instant; Latency is the
+	// time from that pull to cascade quiescence — the last descendant
+	// retired from the in-flight ring.
+	StartUnixNanos int64         `json:"start_unix_nanos"`
+	Latency        time.Duration `json:"latency_nanos"`
+	// Truncated marks a cascade that outgrew maxLineageNodes: the recorded
+	// tree and the latency cover only the traced prefix.
+	Truncated bool `json:"truncated,omitempty"`
+	// Nodes lists the cascade's events in creation order; Nodes[0] is the
+	// sampled root.
+	Nodes []LineageNode `json:"nodes"`
+}
+
+// Tree renders the lineage as an indented causal tree, one node per line.
+func (l Lineage) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lineage %d: %d events, %s%s\n", l.ID, len(l.Nodes),
+		l.Latency, map[bool]string{true: " (truncated)", false: ""}[l.Truncated])
+	children := make(map[uint32][]uint32, len(l.Nodes))
+	for _, n := range l.Nodes {
+		if n.ID != 0 {
+			children[n.Parent] = append(children[n.Parent], n.ID)
+		}
+	}
+	var walk func(id uint32, depth int)
+	walk = func(id uint32, depth int) {
+		n := l.Nodes[id]
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "#%d %s to=%d from=%d val=%d w=%d seq=%d rank=%d",
+			n.ID, n.Kind, n.To, n.From, n.Val, n.W, n.Seq, n.Rank)
+		if n.Merged {
+			fmt.Fprintf(&b, " [merged into %d]", n.MergedInto)
+		}
+		b.WriteByte('\n')
+		for _, c := range children[id] {
+			walk(c, depth+1)
+		}
+	}
+	if len(l.Nodes) > 0 {
+		walk(0, 0)
+	}
+	return b.String()
+}
+
+// traceSlot holds one in-flight lineage. pending counts the lineage's
+// events still unretired (like a per-cascade in-flight ring); the node list
+// is mutex-guarded because children may be emitted by any rank the cascade
+// reaches. The counter cannot falsely reach zero: a child's pending
+// increment (at emission, inside the parent's callback) strictly precedes
+// the parent's decrement (after its process call returns).
+type traceSlot struct {
+	pending atomic.Int64
+
+	mu        sync.Mutex
+	id        uint32 // current generation's ID; 0 while free
+	startNS   int64
+	truncated bool
+	nodes     []LineageNode
+}
+
+// traceTable owns the fixed slot pool and the ring of completed lineages.
+type traceTable struct {
+	sampled atomic.Uint64
+	dropped atomic.Uint64
+	active  atomic.Int64
+
+	mu   sync.Mutex
+	free []uint8 // free slot indices
+	gen  uint32  // 24-bit lineage generation counter
+	done []Lineage
+	next int // ring write position in done
+	keep int
+
+	slots [traceSlotCount]traceSlot
+}
+
+func newTraceTable(keep int) *traceTable {
+	t := &traceTable{keep: keep}
+	t.free = make([]uint8, traceSlotCount)
+	for i := range t.free {
+		t.free[i] = uint8(i)
+	}
+	return t
+}
+
+// start opens a lineage for a freshly sampled topology event and returns
+// its root Trace, or 0 (sampling point dropped) when every slot is busy.
+func (t *traceTable) start(ev *Event, rank int) uint64 {
+	t.mu.Lock()
+	if len(t.free) == 0 {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return 0
+	}
+	idx := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	t.gen = (t.gen + 1) & 0xFFFFFF
+	id := t.gen<<8 | (uint32(idx) + 1)
+	t.mu.Unlock()
+
+	s := &t.slots[idx]
+	s.mu.Lock()
+	s.id = id
+	s.startNS = time.Now().UnixNano()
+	s.truncated = false
+	s.nodes = append(s.nodes[:0], LineageNode{
+		ID: 0, Parent: 0, Rank: rank,
+		Kind: ev.Kind, Algo: ev.Algo, To: ev.To, From: ev.From,
+		Val: ev.Val, W: ev.W, Seq: ev.Seq,
+	})
+	s.mu.Unlock()
+	s.pending.Store(1)
+	t.active.Add(1)
+	return packTrace(id, 0)
+}
+
+// child records an event emitted by a traced parent and returns the Trace
+// the child must carry. Returns 0 — the child runs untraced — when the
+// lineage hit its node cap (Truncated) or the parent Trace is stale.
+func (t *traceTable) child(parent uint64, ev *Event, rank int) uint64 {
+	id, pnode, ok := DecodeTrace(parent)
+	if !ok {
+		return 0
+	}
+	idx := int(id&0xFF) - 1
+	if idx < 0 || idx >= traceSlotCount {
+		return 0
+	}
+	s := &t.slots[idx]
+	s.mu.Lock()
+	if s.id != id {
+		s.mu.Unlock()
+		return 0
+	}
+	if len(s.nodes) >= maxLineageNodes {
+		s.truncated = true
+		s.mu.Unlock()
+		return 0
+	}
+	node := uint32(len(s.nodes))
+	s.nodes = append(s.nodes, LineageNode{
+		ID: node, Parent: pnode, Rank: rank,
+		Kind: ev.Kind, Algo: ev.Algo, To: ev.To, From: ev.From,
+		Val: ev.Val, W: ev.W, Seq: ev.Seq,
+	})
+	s.pending.Add(1)
+	s.mu.Unlock()
+	return packTrace(id, node)
+}
+
+// merged records an event that was coalesced into an already-buffered
+// UPDATE: it joins its lineage's tree (so CombinedAway is explainable) but
+// is never delivered, so it carries no pending count. into is the absorbing
+// event's Trace (0 when the absorber is untraced).
+func (t *traceTable) merged(parent uint64, ev *Event, rank int, into uint64) {
+	id, pnode, ok := DecodeTrace(parent)
+	if !ok {
+		return
+	}
+	idx := int(id&0xFF) - 1
+	if idx < 0 || idx >= traceSlotCount {
+		return
+	}
+	intoID, _, _ := DecodeTrace(into)
+	s := &t.slots[idx]
+	s.mu.Lock()
+	if s.id == id && len(s.nodes) < maxLineageNodes {
+		node := uint32(len(s.nodes))
+		s.nodes = append(s.nodes, LineageNode{
+			ID: node, Parent: pnode, Rank: rank,
+			Kind: ev.Kind, Algo: ev.Algo, To: ev.To, From: ev.From,
+			Val: ev.Val, W: ev.W, Seq: ev.Seq,
+			Merged: true, MergedInto: intoID,
+		})
+	} else if s.id == id {
+		s.truncated = true
+	}
+	s.mu.Unlock()
+}
+
+// retire marks one traced event fully processed. The event that drops its
+// lineage's pending count to zero is the cascade's quiescence point: the
+// lineage is finalized, its ingest-to-quiescence latency recorded into the
+// retiring rank's histogram, and the slot freed.
+func (t *traceTable) retire(trace uint64, r *rank) {
+	id, _, ok := DecodeTrace(trace)
+	if !ok {
+		return
+	}
+	idx := int(id&0xFF) - 1
+	if idx < 0 || idx >= traceSlotCount {
+		return
+	}
+	s := &t.slots[idx]
+	if s.pending.Add(-1) != 0 {
+		return
+	}
+	lat := time.Now().UnixNano()
+	s.mu.Lock()
+	if s.id != id {
+		s.mu.Unlock()
+		return
+	}
+	done := Lineage{
+		ID:             id,
+		StartUnixNanos: s.startNS,
+		Latency:        time.Duration(lat - s.startNS),
+		Truncated:      s.truncated,
+		Nodes:          append([]LineageNode(nil), s.nodes...),
+	}
+	s.id = 0
+	s.mu.Unlock()
+
+	r.lat.ingest.record(int64(done.Latency))
+	t.sampled.Add(1)
+	t.active.Add(-1)
+
+	t.mu.Lock()
+	if t.keep > 0 {
+		if len(t.done) < t.keep {
+			t.done = append(t.done, done)
+		} else {
+			t.done[t.next] = done
+			t.next = (t.next + 1) % t.keep
+		}
+	}
+	t.free = append(t.free, uint8(idx))
+	t.mu.Unlock()
+}
+
+// lineages returns the retained completed lineages, oldest first.
+func (t *traceTable) lineages() []Lineage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Lineage, 0, len(t.done))
+	out = append(out, t.done[t.next:]...)
+	out = append(out, t.done[:t.next]...)
+	return out
+}
+
+// Lineages returns the completed causal trees of the most recent sampled
+// cascades, oldest first (up to Options.LineageKeep of them). Lineages are
+// immutable copies, so this is legal in every lifecycle state and never
+// blocks event processing. Nil when sampling is disabled.
+func (e *Engine) Lineages() []Lineage {
+	if e.traces == nil {
+		return nil
+	}
+	return e.traces.lineages()
+}

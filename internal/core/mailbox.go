@@ -1,6 +1,9 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // mailbox is a rank's inbound event queue, built from per-sender SPSC
 // lanes: one unbounded single-producer/single-consumer chunk queue per
@@ -26,6 +29,12 @@ type mailbox struct {
 	// producer's add). hwm is the deepest it has ever been.
 	queued atomic.Int64
 	hwm    atomic.Uint64
+	// resStamp is the mailbox-residency probe: the push instant (UnixNano)
+	// of one still-undrained batch, or 0 when no sample is pending. One
+	// sample at a time keeps the producer cost to a single load (plus a CAS
+	// and clock read only when the probe is vacant, i.e. at most once per
+	// drain cycle); the consumer Swaps it out and records now-stamp.
+	resStamp atomic.Int64
 	// scratch is the consumer-owned drain buffer, handed out by drain and
 	// returned via recycle to avoid reallocation.
 	scratch []Event
@@ -178,6 +187,7 @@ func (m *mailbox) push(sender int, batch []Event) {
 	}
 	m.lanes[sender].push(batch)
 	m.noteQueued(len(batch))
+	m.stampResidency()
 	m.poke()
 }
 
@@ -185,7 +195,32 @@ func (m *mailbox) push(sender int, batch []Event) {
 func (m *mailbox) pushExternal(ev Event) {
 	m.lanes[m.externalLane()].pushOne(ev)
 	m.noteQueued(1)
+	m.stampResidency()
 	m.poke()
+}
+
+// stampResidency arms the residency probe if it is vacant. Racing
+// producers may both pass the load; the CAS keeps exactly one stamp and
+// the loser's clock read is wasted, which is harmless and rare.
+func (m *mailbox) stampResidency() {
+	if m.resStamp.Load() == 0 {
+		m.resStamp.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// takeResidency consumes the pending residency stamp (0 if none). Called by
+// the consumer once per drain; the elapsed time since the stamp is one
+// mailbox-residency sample.
+func (m *mailbox) takeResidency() int64 { return m.resStamp.Swap(0) }
+
+// depth returns the current approximate inbound queue depth (clamped at
+// zero: the estimate can transiently dip negative when a drain races a
+// producer's add).
+func (m *mailbox) depth() int64 {
+	if d := m.queued.Load(); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // noteQueued advances the depth estimate and its high-water mark.

@@ -71,6 +71,22 @@ func WithTraceDepth(n int) Option {
 	return func(o *Options) { o.TraceDepth = n }
 }
 
+// WithSampleEvery sets the cascade-latency sampling stride: each rank
+// traces one ingested topology event per n to cascade quiescence, feeding
+// the ingest-to-quiescence histogram (EngineStats.Latency) and the lineage
+// API (Engine.Lineages). 0 selects the default of 1024; negative disables
+// sampling entirely.
+func WithSampleEvery(n int) Option {
+	return func(o *Options) { o.SampleEvery = n }
+}
+
+// WithLineageKeep sets how many completed lineage trees the engine retains
+// for Lineages (0 selects the default of 16; negative keeps none while the
+// histograms still fill).
+func WithLineageKeep(n int) Option {
+	return func(o *Options) { o.LineageKeep = n }
+}
+
 // NewWith builds an engine from functional options; it is New with the
 // Options struct assembled from opts. Later options override earlier ones.
 func NewWith(programs []Program, opts ...Option) *Engine {

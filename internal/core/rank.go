@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"incregraph/internal/graph"
 	"incregraph/internal/stream"
@@ -60,6 +61,18 @@ type rank struct {
 	// optional postmortem event ring (nil unless Options.TraceDepth > 0).
 	counters *rankCounters
 	trace    *traceRing
+
+	// lat is the rank's latency-histogram block (hist.go). sampleLeft
+	// counts ingests until the next traced cascade; curTrace is the Trace
+	// of the event currently mid-process, inherited by everything its
+	// callback emits; drainLeft counts mailbox batches until the next timed
+	// drain; lastFlushNS is the previous flush instant, for the
+	// flush-interval histogram.
+	lat         *rankLats
+	sampleLeft  int
+	curTrace    uint64
+	drainLeft   int
+	lastFlushNS int64
 }
 
 type queryReq struct {
@@ -78,6 +91,12 @@ func newRank(e *Engine, id int) *rank {
 		coal:     newCoalescer(e.combine, e.opts.Ranks),
 		counters: newRankCounters(e.opts.Ranks),
 		trace:    newTraceRing(e.opts.TraceDepth),
+		lat:      &rankLats{},
+		// Both countdowns start at 1 so short runs still produce samples:
+		// the rank's first ingest opens a trace and its first batch is
+		// drain-timed; the steady-state strides take over from there.
+		sampleLeft: 1,
+		drainLeft:  1,
 	}
 	r.store.SetWeightPolicy(e.opts.WeightPolicy)
 	r.values = make([][]uint64, len(e.programs))
@@ -108,8 +127,23 @@ func (r *rank) loop() {
 		if batch != nil || r.selfPending() {
 			if batch != nil {
 				r.counters.batchesDrained.Add(1)
+				// Component latency probes, both at batch granularity so the
+				// per-event path stays clock-free: inbound residency when a
+				// push left its one-at-a-time stamp, and the batch's own
+				// processing time every latDrainStride-th drain.
+				if ts := r.inbox.takeResidency(); ts != 0 {
+					r.lat.mailbox.record(time.Now().UnixNano() - ts)
+				}
+				var t0 int64
+				if r.drainLeft--; r.drainLeft <= 0 {
+					r.drainLeft = latDrainStride
+					t0 = time.Now().UnixNano()
+				}
 				for i := range batch {
 					r.process(&batch[i])
+				}
+				if t0 != 0 {
+					r.lat.drain.record(time.Now().UnixNano() - t0)
 				}
 				r.inbox.recycle(batch)
 			}
@@ -229,6 +263,15 @@ func (r *rank) nextTopoEvent() (Event, bool) {
 	// n, all n events are either in flight or fully processed, so
 	// Ingested()==pushed && Quiescent() is a sound "drained" check.
 	r.eng.ingested.Add(1)
+	// Cascade sampling: every SampleEvery-th ingest opens a lineage whose
+	// Trace tags the event and, transitively, its whole cascade. The
+	// unsampled path pays exactly this countdown.
+	if r.eng.traces != nil {
+		if r.sampleLeft--; r.sampleLeft <= 0 {
+			r.sampleLeft = r.eng.opts.SampleEvery
+			out.Trace = r.eng.traces.start(&out, r.id)
+		}
+	}
 	return out, true
 }
 
@@ -243,15 +286,29 @@ func (r *rank) emit(ev Event) {
 	r.counters.cascadeEmits.Add(1)
 	dest := r.eng.part.Owner(ev.To)
 	if ev.Kind == KindUpdate && r.coal.combinable(ev.Algo) {
-		if r.coal.combineInto(r, dest, &ev) {
+		if merged, into := r.coal.combineInto(r, dest, &ev); merged {
 			r.counters.combinedAway.Add(1)
+			// The merged event joins its lineage as a leaf (never delivered,
+			// so no pending count) — CombinedAway, explained per event.
+			if r.curTrace != 0 {
+				r.eng.traces.merged(r.curTrace, &ev, r.id, into)
+			}
 			return
+		}
+		// The child's trace must be opened before the in-flight increment,
+		// mirroring the ring discipline: its lineage pending count is up
+		// before the parent's retire can run.
+		if r.curTrace != 0 {
+			ev.Trace = r.eng.traces.child(r.curTrace, &ev, r.id)
 		}
 		r.eng.inflight[ev.Seq&3].Add(1)
 		if pos := r.deliver(dest, ev); pos >= 0 {
 			r.coal.remember(dest, &ev, pos)
 		}
 		return
+	}
+	if r.curTrace != 0 {
+		ev.Trace = r.eng.traces.child(r.curTrace, &ev, r.id)
 	}
 	r.eng.inflight[ev.Seq&3].Add(1)
 	r.deliver(dest, ev)
@@ -327,6 +384,14 @@ func (r *rank) flush(dest int) {
 	if len(r.out[dest]) == 0 {
 		return
 	}
+	// Flush-interval probe: one clock read per non-empty flush (already
+	// amortized over the whole outbound batch, like the traffic counters
+	// below).
+	now := time.Now().UnixNano()
+	if r.lastFlushNS != 0 {
+		r.lat.flushGap.record(now - r.lastFlushNS)
+	}
+	r.lastFlushNS = now
 	// The buffered positions the coalescer remembered are gone.
 	r.coal.barrier(dest)
 	// Simulation seam: the observer sees the true batch order, then the
@@ -410,6 +475,12 @@ func (r *rank) process(ev *Event) {
 	if r.trace != nil {
 		r.trace.record(r.id, ev)
 	}
+	// A traced event makes its lineage current for the duration of its
+	// callbacks, so every emit it performs is recorded as its child.
+	// process never nests (drains are sequential), so a plain field works.
+	if ev.Trace != 0 {
+		r.curTrace = ev.Trace
+	}
 	if r.eng.activeSnap.Load() != nil {
 		// Must copy the previous-version state before applying any event
 		// once a snapshot is active (old events would double-apply via
@@ -433,6 +504,14 @@ func (r *rank) process(ev *Event) {
 		r.handleSignal(ev)
 	}
 	r.pendingDec[ev.Seq&3]++
+	// Retire strictly after the dispatch emitted (and trace-registered) all
+	// children: the lineage pending count can only reach zero at true
+	// cascade quiescence, at which point retire finalizes the lineage and
+	// records its ingest-to-quiescence latency on this rank.
+	if ev.Trace != 0 {
+		r.curTrace = 0
+		r.eng.traces.retire(ev.Trace, r)
+	}
 }
 
 // dualRun reports whether the event belongs to the previous version of an

@@ -98,6 +98,11 @@ func (d *SimDriver) DrainLane(rank, lane int, fn func(ev Event)) int {
 		return 0
 	}
 	r.counters.batchesDrained.Add(1)
+	// Residency-probe parity with the concurrent loop (the stamp is
+	// mailbox-wide, so consuming it on a per-lane drain is equally valid).
+	if ts := r.inbox.takeResidency(); ts != 0 {
+		r.lat.mailbox.record(time.Now().UnixNano() - ts)
+	}
 	for i := range batch {
 		if fn != nil {
 			fn(batch[i])

@@ -27,6 +27,13 @@ type BenchResult struct {
 	SelfDelivered uint64  `json:"self_delivered"`
 	CombinedAway  uint64  `json:"combined_away"`
 	EvPerFlush    float64 `json:"ev_per_flush"`
+	// Sampled ingest-to-quiescence latency (schema 2): percentiles in
+	// nanoseconds from the engine's power-of-two histogram, plus how many
+	// cascades were sampled to produce them. All zero when sampling is off.
+	LatencySamples uint64 `json:"latency_samples"`
+	LatP50Nanos    int64  `json:"lat_p50_nanos"`
+	LatP99Nanos    int64  `json:"lat_p99_nanos"`
+	LatP999Nanos   int64  `json:"lat_p999_nanos"`
 }
 
 // BenchReport is the machine-readable form of the Figure 5 sweep,
@@ -48,7 +55,7 @@ type BenchReport struct {
 func BenchJSON(cfg Config) *BenchReport {
 	cfg = cfg.withDefaults()
 	rep := &BenchReport{
-		Schema:     1,
+		Schema:     2,
 		Scale:      cfg.Scale,
 		EdgeFactor: cfg.EdgeFactor,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -86,6 +93,12 @@ func BenchJSON(cfg Config) *BenchReport {
 				}
 				if res.TopoEvents > 0 {
 					res.EventsPerTopo = float64(es.Events.Total()) / float64(res.TopoEvents)
+				}
+				if h := es.Latency.IngestToQuiesce; h.Count > 0 {
+					res.LatencySamples = h.Count
+					res.LatP50Nanos = int64(h.Quantile(0.50))
+					res.LatP99Nanos = int64(h.Quantile(0.99))
+					res.LatP999Nanos = int64(h.Quantile(0.999))
 				}
 				rep.Results = append(rep.Results, res)
 			}

@@ -21,7 +21,7 @@ func TestBenchJSONQuick(t *testing.T) {
 	if len(rep.Results) != want {
 		t.Fatalf("report has %d results, want %d", len(rep.Results), want)
 	}
-	if rep.Schema != 1 || rep.Scale != 10 || rep.EdgeFactor != 8 {
+	if rep.Schema != 2 || rep.Scale != 10 || rep.EdgeFactor != 8 {
 		t.Fatalf("report header = %+v", rep)
 	}
 	var combined uint64
@@ -29,6 +29,12 @@ func TestBenchJSONQuick(t *testing.T) {
 		if r.EventsPerSec <= 0 || r.TopoEvents == 0 {
 			t.Fatalf("%s/%s/ranks=%d: rate %.0f, topo %d — dead cell",
 				r.Dataset, r.Algo, r.Ranks, r.EventsPerSec, r.TopoEvents)
+		}
+		// Default 1-in-1024 sampling must yield percentiles on every cell
+		// (each rank samples its first ingest, so even small runs record).
+		if r.LatencySamples == 0 || r.LatP99Nanos < r.LatP50Nanos {
+			t.Fatalf("%s/%s/ranks=%d: latency fields %d/%d/%d/%d — sampling dead or unordered",
+				r.Dataset, r.Algo, r.Ranks, r.LatencySamples, r.LatP50Nanos, r.LatP99Nanos, r.LatP999Nanos)
 		}
 		if r.Ranks == 1 && r.MessagesSent != 0 {
 			t.Fatalf("%s/%s: single rank sent %d inter-rank messages",

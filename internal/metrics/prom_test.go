@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"incregraph/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedStats hand-builds a fully deterministic EngineStats snapshot — no
+// clocks, no engine — so the golden exposition is byte-stable.
+func fixedStats() core.EngineStats {
+	hist := func(buckets map[int]uint64, sumNanos uint64) core.HistogramSnapshot {
+		var h core.HistogramSnapshot
+		for i, n := range buckets {
+			h.Buckets[i] = n
+			h.Count += n
+		}
+		h.SumNanos = sumNanos
+		return h
+	}
+	s := core.EngineStats{
+		State:    core.StateRunning,
+		Uptime:   1500 * time.Millisecond,
+		Ranks:    2,
+		Ingested: 1000,
+		Events: core.EventCounts{
+			Adds: 1000, ReverseAdds: 1000, Updates: 420, Inits: 1, Signals: 2,
+		},
+		MessagesSent:   300,
+		Flushes:        60,
+		CascadeEmits:   1422,
+		SelfDelivered:  1100,
+		CombinedAway:   77,
+		BatchesDrained: 58,
+		MailboxHWM:     12,
+		MailboxDepth:   3,
+		InFlight:       5,
+		QueriesServed:  9,
+		SnapshotsTaken: 1,
+		Latency: core.LatencyStats{
+			SampleEvery: 1024,
+			Sampled:     4,
+			Dropped:     1,
+			Active:      2,
+			// 4 samples: ~1µs, ~2µs, ~16µs, and one beyond the top bucket.
+			IngestToQuiesce:  hist(map[int]uint64{10: 1, 11: 1, 14: 1, core.HistBuckets - 1: 1}, 20000),
+			MailboxResidency: hist(map[int]uint64{9: 2, 12: 1}, 6000),
+			BatchDrain:       hist(map[int]uint64{13: 3}, 18000),
+			FlushInterval:    hist(nil, 0), // a family with zero observations still renders
+		},
+	}
+	s.PerRank = []core.RankEngineStats{
+		{Rank: 0, MailboxHWM: 12, MailboxDepth: 3},
+		{Rank: 1, MailboxHWM: 7, MailboxDepth: 0},
+	}
+	return s
+}
+
+// TestWritePrometheusGolden pins the full exposition byte-for-byte; the
+// golden file is also what a human reads to see the metric contract.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, fixedStats())
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusLints feeds the writer's own output through the lint —
+// the same check the CI metrics smoke job performs against a live /metrics.
+func TestWritePrometheusLints(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, fixedStats())
+	if err := LintProm(buf.Bytes()); err != nil {
+		t.Fatalf("writer output fails lint: %v", err)
+	}
+	// A zeroed snapshot (engine never started) must also be well-formed.
+	buf.Reset()
+	WritePrometheus(&buf, core.EngineStats{})
+	if err := LintProm(buf.Bytes()); err != nil {
+		t.Fatalf("zero-stats output fails lint: %v", err)
+	}
+}
+
+func TestLintPromRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			"bad metric name",
+			"2foo 1\n",
+			"bad metric name",
+		},
+		{
+			"bad label name",
+			"foo{2x=\"y\"} 1\n",
+			"bad label name",
+		},
+		{
+			"unparseable value",
+			"foo abc\n",
+			"bad value",
+		},
+		{
+			"duplicate TYPE",
+			"# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"unknown type",
+			"# TYPE foo tally\nfoo 1\n",
+			"unknown metric type",
+		},
+		{
+			"negative counter",
+			"# TYPE foo counter\nfoo -1\n",
+			"negative value",
+		},
+		{
+			"TYPE after samples",
+			"foo 1\n# TYPE foo counter\n",
+			"after its samples",
+		},
+		{
+			"histogram without buckets",
+			"# TYPE foo histogram\nfoo_sum 1\nfoo_count 1\n",
+			"no buckets",
+		},
+		{
+			"histogram missing +Inf",
+			"# TYPE foo histogram\nfoo_bucket{le=\"1\"} 1\nfoo_sum 1\nfoo_count 1\n",
+			"no +Inf bucket",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE foo histogram\nfoo_bucket{le=\"1\"} 5\nfoo_bucket{le=\"2\"} 3\nfoo_bucket{le=\"+Inf\"} 5\nfoo_sum 1\nfoo_count 5\n",
+			"not cumulative",
+		},
+		{
+			"count disagrees with +Inf",
+			"# TYPE foo histogram\nfoo_bucket{le=\"1\"} 1\nfoo_bucket{le=\"+Inf\"} 2\nfoo_sum 1\nfoo_count 3\n",
+			"_count",
+		},
+		{
+			"bucket without le",
+			"# TYPE foo histogram\nfoo_bucket{x=\"1\"} 1\n",
+			"without le label",
+		},
+		{
+			"unterminated labels",
+			"foo{le=\"1\" 1\n",
+			"",
+		},
+		{
+			"duplicate label",
+			"foo{a=\"1\",a=\"2\"} 1\n",
+			"duplicate label",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintProm([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("LintProm accepted malformed input:\n%s", tc.in)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintPromAcceptsValidCorners(t *testing.T) {
+	valid := []string{
+		"",                               // empty exposition
+		"foo 1 1712345678901\n",          // trailing timestamp
+		"# just a comment\nfoo 1\n",      // free-form comment
+		"foo{a=\"x\\\\y\\\"z\\n\"} 1\n",  // escaped label value
+		"foo{} 1\n",                      // empty label set
+		"# TYPE foo gauge\nfoo +Inf\n",   // infinity value
+		"# TYPE foo untyped\nfoo -3.5\n", // untyped negative
+	}
+	for _, in := range valid {
+		if err := LintProm([]byte(in)); err != nil {
+			t.Errorf("LintProm rejected valid exposition %q: %v", in, err)
+		}
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		1e-9:    "1e-09",
+		2047e-9: "2.047e-06",
+	}
+	for in, want := range cases {
+		if got := promFloat(in); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

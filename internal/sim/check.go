@@ -63,6 +63,9 @@ type checker struct {
 	lastQuery map[graph.VertexID]uint64
 	processed int
 	merges    int
+	// traced[{lineage, node}] collects every processed event that carried
+	// that trace, for the post-run lineage exactness check.
+	traced map[[2]uint32][]core.Event
 }
 
 func newChecker(ord order, ranks int) *checker {
@@ -71,6 +74,7 @@ func newChecker(ord order, ranks int) *checker {
 		ranks:     ranks,
 		fifo:      make(map[[2]int][]core.Event),
 		lastQuery: make(map[graph.VertexID]uint64),
+		traced:    make(map[[2]uint32][]core.Event),
 	}
 }
 
@@ -91,6 +95,9 @@ func (c *checker) onFlush(from, dest int, batch []core.Event) {
 // lane is the mailbox lane it arrived on, or -1 for the self ring.
 func (c *checker) onProcess(dest, lane int, ev core.Event) {
 	c.processed++
+	if id, node, ok := core.DecodeTrace(ev.Trace); ok {
+		c.traced[[2]uint32{id, node}] = append(c.traced[[2]uint32{id, node}], ev)
+	}
 	// Snapshot-version consistency: snapshots are serialized, so the only
 	// sequences that may be live are the current one and — while a
 	// snapshot is still collecting — the one before its marker.
@@ -188,6 +195,60 @@ func (c *checker) finalChecks(final map[graph.VertexID]uint64) {
 		}
 		if !c.ord.subsumes(fv, c.lastQuery[v]) {
 			c.violatef("final: vertex %d finished at %d, behind the %d a mid-run query observed", v, fv, c.lastQuery[v])
+		}
+	}
+}
+
+// checkLineages validates every completed lineage tree the engine retained
+// against the checker's own record of processed events — the exactness
+// claim of cascade tracing. For each recorded node: parents precede
+// children, non-merged nodes were processed exactly once with the identity
+// the lineage recorded, and merged (coalesced-away) nodes were never
+// processed. Val comparison is skipped for UPDATEs, whose emission-time
+// snapshot legitimately predates merges absorbed while buffered.
+func (c *checker) checkLineages(ls []core.Lineage) {
+	for _, l := range ls {
+		if len(l.Nodes) == 0 {
+			c.violatef("lineage %d: completed with no nodes", l.ID)
+			continue
+		}
+		for i, n := range l.Nodes {
+			if n.ID != uint32(i) {
+				c.violatef("lineage %d: node %d recorded with ID %d", l.ID, i, n.ID)
+				continue
+			}
+			if i == 0 {
+				if n.Parent != 0 {
+					c.violatef("lineage %d: root has parent %d", l.ID, n.Parent)
+				}
+			} else if n.Parent >= n.ID {
+				c.violatef("lineage %d: node %d's parent %d does not precede it", l.ID, n.ID, n.Parent)
+			}
+			obs := c.traced[[2]uint32{l.ID, n.ID}]
+			if n.Merged {
+				if len(obs) != 0 {
+					c.violatef("lineage %d: merged node %d was processed %d times (coalesced events must never be delivered)",
+						l.ID, n.ID, len(obs))
+				}
+				continue
+			}
+			if len(obs) != 1 {
+				c.violatef("lineage %d: node %d (%s to=%d) was processed %d times, want exactly once",
+					l.ID, n.ID, n.Kind, n.To, len(obs))
+				continue
+			}
+			ev := obs[0]
+			if ev.Kind != n.Kind || ev.Algo != n.Algo || ev.To != n.To ||
+				ev.From != n.From || ev.W != n.W || ev.Seq != n.Seq {
+				c.violatef("lineage %d: node %d recorded %s(to=%d from=%d w=%d seq=%d) but %s(to=%d from=%d w=%d seq=%d) was processed",
+					l.ID, n.ID, n.Kind, n.To, n.From, n.W, n.Seq,
+					ev.Kind, ev.To, ev.From, ev.W, ev.Seq)
+				continue
+			}
+			if n.Kind != core.KindUpdate && ev.Val != n.Val {
+				c.violatef("lineage %d: node %d recorded val %d but was processed with val %d",
+					l.ID, n.ID, n.Val, ev.Val)
+			}
 		}
 	}
 }

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// lineageCfg samples every ingested event with a lineage ring big enough to
+// retain them all, so the run's full cascade history is checkable.
+func lineageCfg(a Algo, gseed, sseed int64) Config {
+	return Config{
+		Algo: a, GraphSeed: gseed, ScheduleSeed: sseed, Ranks: 3,
+		SampleEvery: 1, LineageKeep: 4096,
+	}
+}
+
+// TestSimLineageExact replays seeded schedules with 1-in-1 cascade sampling:
+// the checker verifies every completed lineage tree is exact — each recorded
+// node corresponds to exactly one observed processing (merged nodes to none)
+// with the recorded identity — and the run must retain trees and latency
+// samples for every ingested event.
+func TestSimLineageExact(t *testing.T) {
+	for a := Algo(0); a < numAlgos; a++ {
+		for _, sseed := range []int64{17, 43} {
+			res := Run(lineageCfg(a, 11, sseed))
+			if res.Failed() {
+				t.Errorf("%s seed %d: %d violations, first: %s",
+					a, sseed, len(res.Violations), res.Violations[0])
+				continue
+			}
+			if len(res.Lineages) == 0 {
+				t.Errorf("%s seed %d: 1-in-1 sampling retained no lineages", a, sseed)
+			}
+			if res.LatencySamples == 0 {
+				t.Errorf("%s seed %d: no ingest-to-quiescence samples recorded", a, sseed)
+			}
+			// Every sampled cascade quiesced (none still pending at Finish),
+			// so retained trees + drops account for at least one per lineage
+			// slot turnover; with a large keep, multi-node trees must exist.
+			var multi int
+			for _, l := range res.Lineages {
+				if len(l.Nodes) > 1 {
+					multi++
+				}
+			}
+			if multi == 0 {
+				t.Errorf("%s seed %d: no lineage recorded a cascade beyond its root", a, sseed)
+			}
+		}
+	}
+}
+
+// TestSimLineageReplayDeterminism reruns a traced seed and demands the
+// identical forest: same lineage IDs, same node lists, same truncation —
+// the property that makes a lineage from a failing run replayable.
+func TestSimLineageReplayDeterminism(t *testing.T) {
+	for a := Algo(0); a < numAlgos; a++ {
+		cfg := lineageCfg(a, 23, 31)
+		first := Run(cfg)
+		second := Run(cfg)
+		if first.Failed() || second.Failed() {
+			t.Fatalf("%s: traced replay recorded violations: %v / %v",
+				a, first.Violations, second.Violations)
+		}
+		if !reflect.DeepEqual(first.Lineages, second.Lineages) {
+			t.Errorf("%s: identical traced seeds produced different lineage forests (%d vs %d trees)",
+				a, len(first.Lineages), len(second.Lineages))
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("%s: identical traced seeds produced different Results", a)
+		}
+	}
+}
+
+// TestSimLineageMergeRecorded pins the merged-leaf contract on a schedule
+// that coalesces: when a run merges UPDATEs away, at least one retained
+// lineage must explain a CombinedAway event as a Merged leaf whose parent
+// precedes it (the checker separately proves merged nodes were never
+// delivered).
+func TestSimLineageMergeRecorded(t *testing.T) {
+	var sawMergedLeaf bool
+	for _, sseed := range []int64{17, 31, 43, 59} {
+		// CC on a dense-ish world merges aggressively.
+		res := Run(lineageCfg(CC, 11, sseed))
+		if res.Failed() {
+			t.Fatalf("seed %d: %v", sseed, res.Violations[0])
+		}
+		if res.Merges == 0 {
+			continue
+		}
+		for _, l := range res.Lineages {
+			for _, n := range l.Nodes {
+				if n.Merged {
+					sawMergedLeaf = true
+				}
+			}
+		}
+	}
+	if !sawMergedLeaf {
+		t.Skip("no schedule in the sampled set merged a traced UPDATE; widen seeds if this persists")
+	}
+}

@@ -71,6 +71,12 @@ type Config struct {
 	Edges []graph.Edge
 	// Mutation injects a deliberate defect (mutation testing).
 	Mutation Mutation
+	// SampleEvery and LineageKeep pass through to the engine's cascade
+	// sampler (0 = engine defaults, negative SampleEvery disables). The
+	// checker validates every completed lineage tree against the events it
+	// actually observed being processed.
+	SampleEvery int
+	LineageKeep int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +117,13 @@ type Result struct {
 	// consistency points that were differentially verified.
 	SnapshotsChecked   int
 	CheckpointsChecked int
+	// Lineages holds the completed cascade lineage trees the engine
+	// retained, each validated against the checker's processing record.
+	// The wall-clock fields (Latency, StartUnixNanos) are zeroed so the
+	// whole Result keeps its exact-replay contract.
+	// LatencySamples is the ingest-to-quiescence histogram's sample count.
+	Lineages       []core.Lineage
+	LatencySamples uint64
 	// Final is the converged state of the single program.
 	Final map[graph.VertexID]uint64
 }
@@ -155,6 +168,8 @@ func Run(cfg Config) Result {
 		WeightPolicy: sp.weight,
 		BatchSize:    cfg.BatchSize,
 		NoCoalesce:   cfg.NoCoalesce,
+		SampleEvery:  cfg.SampleEvery,
+		LineageKeep:  cfg.LineageKeep,
 	}, monitor(sp.prog(w), chk))
 	d, err := e.StartSim(stream.Split(w.edges, cfg.Ranks))
 	if err != nil {
@@ -329,6 +344,13 @@ func Run(cfg Config) Result {
 	final := e.CollectMap(0)
 	compareStates(chk, "final", final, sp.oracle(w, ingested, initsDone), sp.omitZero)
 	chk.finalChecks(final)
+	res.Lineages = e.Lineages()
+	for i := range res.Lineages {
+		res.Lineages[i].Latency = 0
+		res.Lineages[i].StartUnixNanos = 0
+	}
+	res.LatencySamples = e.EngineStats().Latency.IngestToQuiesce.Count
+	chk.checkLineages(res.Lineages)
 	if checkpointRoundTrip(chk, "end", e, sp, w, uint64(len(ingested))) {
 		res.CheckpointsChecked++
 	}

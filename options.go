@@ -52,6 +52,21 @@ func WithTraceDepth(n int) Option {
 	return func(c *Config) { c.TraceDepth = n }
 }
 
+// WithSampleEvery sets the cascade-latency sampling stride: each rank
+// traces one ingested edge event per n from stream pull to cascade
+// quiescence, feeding Graph.Stats().Latency and Graph.Lineage(). 0 selects
+// the default of 1024; negative disables sampling.
+func WithSampleEvery(n int) Option {
+	return func(c *Config) { c.SampleEvery = n }
+}
+
+// WithLineageKeep sets how many completed cascade lineage trees the graph
+// retains for Graph.Lineage() (default 16; negative keeps none while the
+// latency histograms still fill).
+func WithLineageKeep(n int) Option {
+	return func(c *Config) { c.LineageKeep = n }
+}
+
 // NewGraph builds a dynamic graph from functional options; it is New with
 // the Config assembled from opts. Later options override earlier ones.
 func NewGraph(programs []Program, opts ...Option) *Graph {
