@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race sim fuzz-smoke bench bench-json metrics-smoke watch-demo examples clean
+.PHONY: check fmt vet build test race sim fuzz-smoke proc-smoke bench bench-json metrics-smoke watch-demo examples clean
 
 check: fmt vet build test race
 
@@ -41,7 +41,14 @@ fuzz-smoke:
 	$(GO) test ./internal/stream/ -fuzz FuzzReadText -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/stream/ -fuzz FuzzReadBinary -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/core/ -fuzz FuzzReadCheckpoint -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/core/ -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/sim/ -fuzz FuzzSimDifferential -fuzztime $(FUZZTIME) -run '^$$'
+
+# Two-OS-process loopback smoke: a real cluster run of cmd/ingest (two
+# processes joined over 127.0.0.1), its merged -dump shards diffed against
+# a single-process run of the same dataset. See scripts/proc_smoke.sh.
+proc-smoke:
+	./scripts/proc_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

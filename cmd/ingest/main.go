@@ -11,12 +11,26 @@
 // With -verify, the converged dynamic state is checked against the
 // corresponding static algorithm on the final topology.
 //
+// Multi-process: N processes form one logical engine over TCP. Process 0
+// coordinates; every process runs -ranks ranks of the ranks×N global rank
+// space and must be given identical dataset flags (the RMAT generator is
+// deterministic, so -rmat works without sharing files):
+//
+//	ingest -rmat 16 -ranks 4 -procs 2 -rank-id 0 -listen 127.0.0.1:7070 -algo bfs
+//	ingest -rmat 16 -ranks 4 -procs 2 -rank-id 1 -join 127.0.0.1:7070   -algo bfs
+//
+// Each process converges on its own shard of the vertex space; -dump
+// writes that shard's final state as "vertex value" lines, so the union of
+// all dumps is the global answer (scripts/proc_smoke.sh diffs it against a
+// single-process run).
+//
 // An interrupt (ctrl-C) shuts the run down gracefully: ingestion halts,
 // in-flight cascades drain to a quiescent point, and the statistics for
 // the ingested prefix are reported.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -49,8 +63,14 @@ func main() {
 		traceN  = flag.Int("trace", 0, "keep a per-rank ring of the last N events for postmortem debugging")
 		sample  = flag.Int("sample", 0, "trace 1-in-N ingested events to cascade quiescence for latency histograms and lineage (0 = engine default 1024; negative disables)")
 		watch   = flag.Bool("watch", false, "render a live telemetry view (rates, lag, latency percentiles) while ingesting")
+		procs   = flag.Int("procs", 1, "total process count of a multi-process run (1 = single process)")
+		rankID  = flag.Int("rank-id", 0, "this process's index in [0,procs)")
+		listen  = flag.String("listen", "", "cluster: address to accept peer connections on (process 0 and any process a higher one dials)")
+		join    = flag.String("join", "", "cluster: process 0's listen address (required for rank-id > 0)")
+		dump    = flag.String("dump", "", "after convergence, write this process's algorithm shard as 'vertex value' lines to FILE (- for stdout)")
 	)
 	flag.Parse()
+	cluster := *procs > 1
 
 	// Catch interrupts from the start: one arriving while the dataset is
 	// still loading is buffered and honored as soon as the engine exists.
@@ -77,13 +97,37 @@ func main() {
 	if prog != nil {
 		programs = append(programs, prog)
 	}
-	g := incregraph.NewGraph(programs,
-		incregraph.WithRanks(*ranks),
-		incregraph.WithTraceDepth(*traceN),
-		incregraph.WithSampleEvery(*sample),
-	)
-	for _, v := range inits {
-		g.InitVertex(0, v)
+	cfg := incregraph.Config{
+		Ranks:       *ranks,
+		TraceDepth:  *traceN,
+		SampleEvery: *sample,
+	}
+	if cluster {
+		cfg.Cluster = &incregraph.ClusterConfig{
+			Proc:   *rankID,
+			Procs:  *procs,
+			Listen: *listen,
+			Join:   *join,
+		}
+	}
+	g, err := incregraph.NewCluster(cfg, programs...)
+	if err != nil {
+		fatal(err)
+	}
+	if cluster {
+		where := g.ClusterAddr()
+		if where == "" {
+			where = "not listening"
+		}
+		fmt.Printf("cluster: process %d of %d (%d ranks each, %d global), %s\n",
+			*rankID, *procs, *ranks, g.Ranks(), where)
+	}
+	// Inits are issued once, by process 0; events whose owning rank lives
+	// in a peer process cross the wire at Start.
+	if *rankID == 0 {
+		for _, v := range inits {
+			g.InitVertex(0, v)
+		}
 	}
 	if *dbgAddr != "" {
 		if err := startDebugServer(*dbgAddr, g); err != nil {
@@ -113,11 +157,14 @@ func main() {
 
 	var streams []incregraph.Stream
 	if hasDeletes(events) {
-		// Deletes must stay ordered after their adds: single stream.
+		// Deletes must stay ordered after their adds: single stream
+		// (global rank 0 ingests it; in a cluster that is process 0).
 		streams = []incregraph.Stream{incregraph.StreamEvents(events)}
 		fmt.Println("dataset contains deletes: using one ordered stream")
 	} else {
-		streams = incregraph.SplitEdges(edges, *ranks)
+		// The split is over the GLOBAL rank space; each process ingests
+		// only the streams of its local ranks and skips the rest.
+		streams = incregraph.SplitEdges(edges, g.Ranks())
 	}
 
 	var w *watcher
@@ -149,6 +196,22 @@ func main() {
 		fmt.Printf("latency: ingest→quiesce p50=%s p99=%s p99.9=%s (n=%d, 1/%d sampled)\n",
 			h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Count, lat.SampleEvery)
 	}
+	if err := g.Err(); err != nil {
+		fatal(err)
+	}
+	if ts := es.Transport; ts.Kind != "inproc" {
+		for _, p := range ts.Peers {
+			fmt.Printf("transport: %s peer %d: sent %s recv %s acked %s events (%s/%s frames, %d reconnects)\n",
+				ts.Kind, p.Node, metrics.HumanCount(p.SentEvents), metrics.HumanCount(p.RecvEvents),
+				metrics.HumanCount(p.AckedEvents), metrics.HumanCount(p.SentFrames),
+				metrics.HumanCount(p.RecvFrames), p.Reconnects)
+		}
+	}
+	if *dump != "" {
+		if err := dumpShard(g, *dump, prog != nil); err != nil {
+			fatal(err)
+		}
+	}
 	if interrupted.Load() {
 		// The stopped state is a consistent prefix of the stream, but not
 		// the full dataset: skip the whole-input verification.
@@ -157,11 +220,40 @@ func main() {
 	}
 
 	if *verify && prog != nil {
+		if cluster {
+			// Topology and Collect are shard-local in a cluster; the static
+			// oracle needs the global graph. proc_smoke.sh does the global
+			// check by merging every process's -dump.
+			fmt.Println("verify: skipped in cluster mode (shard-local topology); merge -dump outputs instead")
+			return
+		}
 		if err := verifyResult(g, *algoN, inits); err != nil {
 			fatal(err)
 		}
 		fmt.Println("verify: dynamic state matches the static baseline")
 	}
+}
+
+// dumpShard writes this process's final algorithm state (its local shard
+// of program 0) as sorted "vertex value" lines.
+func dumpShard(g *incregraph.Graph, path string, hasProg bool) error {
+	if !hasProg {
+		return fmt.Errorf("-dump needs a live algorithm (-algo)")
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	for _, p := range g.Collect(0) {
+		fmt.Fprintf(w, "%d %d\n", p.ID, p.Val)
+	}
+	return w.Flush()
 }
 
 func loadEvents(in string, scale, ef int) ([]graph.EdgeEvent, error) {

@@ -96,6 +96,22 @@ func renderWatch(out io.Writer, cur, prev incregraph.EngineStats, dt time.Durati
 		rate(cur.MessagesSent, prev.MessagesSent),
 		rate(cur.CombinedAway, prev.CombinedAway),
 		rate(cur.SelfDelivered, prev.SelfDelivered))
+	if ts := cur.Transport; len(ts.Peers) > 0 {
+		var sent, recv, prevSent, prevRecv, unacked uint64
+		for i, p := range ts.Peers {
+			sent += p.SentEvents
+			recv += p.RecvEvents
+			unacked += p.SentEvents - p.AckedEvents
+			if i < len(prev.Transport.Peers) {
+				prevSent += prev.Transport.Peers[i].SentEvents
+				prevRecv += prev.Transport.Peers[i].RecvEvents
+			}
+		}
+		line("wire      %s node %d/%d   %12s sent   %12s recv   %d unacked",
+			ts.Kind, ts.Node, ts.Nodes, rate(sent, prevSent), rate(recv, prevRecv), unacked)
+	} else {
+		line("wire      %s (single process)", ts.Kind)
+	}
 	line("")
 	if lat := cur.Latency; lat.SampleEvery > 0 {
 		h := lat.IngestToQuiesce

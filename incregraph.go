@@ -64,6 +64,16 @@ type (
 	State = core.State
 	// CheckpointMeta is the run metadata recorded in a checkpoint.
 	CheckpointMeta = core.CheckpointMeta
+	// Transport is the engine's update plane: what moves flushed event
+	// batches between ranks (in-process mailboxes by default; TCP for
+	// multi-process graphs, see ClusterConfig).
+	Transport = core.Transport
+	// TransportStats describes the active transport in a Stats() snapshot:
+	// its kind, this process's place in the cluster, and per-peer counters.
+	TransportStats = core.TransportStats
+	// PeerTransportStats is one peer channel's live counter block:
+	// sent/received/acknowledged events and frame/reconnect counts.
+	PeerTransportStats = core.PeerTransportStats
 )
 
 // Lifecycle states (see Graph.State).
@@ -124,6 +134,44 @@ type Config struct {
 	// retains for Lineage() (0 selects the default of 16; negative keeps
 	// none while the latency histograms still fill).
 	LineageKeep int
+	// Cluster, when non-nil, spans the graph across Cluster.Procs OS
+	// processes over TCP. Ranks then counts the ranks hosted by EACH
+	// process (the global rank space is Ranks × Procs), and this process
+	// runs only its own share. Prefer NewCluster, which surfaces
+	// listen/dial errors instead of panicking.
+	Cluster *ClusterConfig
+}
+
+// ClusterConfig places one process of a multi-process graph. All processes
+// must agree on Procs, per-process Ranks, the program set, and every other
+// Config knob; they form a full TCP mesh at Start, which blocks until the
+// mesh is up.
+//
+// Process 0 is the coordinator: it must Listen, every other process must
+// Join it, and it runs the distributed termination detector. Processes
+// 1..Procs-2 must also Listen (higher-numbered processes dial them to
+// complete the mesh); the highest-numbered process may omit Listen.
+//
+// Start accepts the GLOBAL stream slice, indexed by global rank — pass the
+// same slice layout to every process; each ingests only the streams of its
+// own ranks. InitVertex and Signal work from any process (events whose
+// owning rank is remote ride the wire). Collect and Topology stay local:
+// they observe this process's shard, so a global answer is the union of
+// every process's Collect (shards are disjoint).
+//
+// Not supported across processes (they error or panic, see DESIGN.md):
+// Pause/Resume, Snapshot, checkpoints of a cluster run, the deterministic
+// simulator, and cascade lineage sampling (force-disabled).
+type ClusterConfig struct {
+	// Proc is this process's index in [0, Procs).
+	Proc int
+	// Procs is the total process count.
+	Procs int
+	// Listen is the address this process accepts peer connections on
+	// (":0" picks an ephemeral port — read it back with ClusterAddr).
+	Listen string
+	// Join is the coordinator's address (required when Proc > 0).
+	Join string
 }
 
 // WeightPolicy re-exports the duplicate-weight merge rules.
@@ -145,16 +193,15 @@ const (
 // Stop for graceful shutdown of an unbounded live run.
 type Graph struct {
 	eng *core.Engine
+	// clusterAddr is the transport's bound listen address for a
+	// multi-process graph ("" otherwise).
+	clusterAddr string
 }
 
-// New builds a dynamic graph hosting the given programs. All programs
-// maintain their state concurrently over the same topology.
-func New(cfg Config, programs ...Program) *Graph {
-	if cfg.Ranks <= 0 {
-		cfg.Ranks = 1
-	}
-	return &Graph{eng: core.New(core.Options{
-		Ranks:        cfg.Ranks,
+// coreOptions maps a Config onto the engine's option struct (Ranks and
+// Transport are filled by the caller).
+func coreOptions(cfg Config) core.Options {
+	return core.Options{
 		Undirected:   !cfg.Directed,
 		BatchSize:    cfg.BatchSize,
 		SmallCap:     cfg.SmallCap,
@@ -163,7 +210,48 @@ func New(cfg Config, programs ...Program) *Graph {
 		NoCoalesce:   cfg.NoCoalesce,
 		SampleEvery:  cfg.SampleEvery,
 		LineageKeep:  cfg.LineageKeep,
-	}, programs...)}
+	}
+}
+
+// New builds a dynamic graph hosting the given programs. All programs
+// maintain their state concurrently over the same topology. With
+// cfg.Cluster set it builds this process's share of a multi-process graph
+// and panics if the cluster transport cannot be constructed (use
+// NewCluster to handle that error).
+func New(cfg Config, programs ...Program) *Graph {
+	g, err := NewCluster(cfg, programs...)
+	if err != nil {
+		panic("incregraph: " + err.Error())
+	}
+	return g
+}
+
+// NewCluster is New with the transport error surfaced: for a Config with
+// Cluster set it binds this process's listener and returns any
+// listen/validation failure instead of panicking. With a nil Cluster (or
+// Procs <= 1) it builds the ordinary in-process graph and never fails.
+func NewCluster(cfg Config, programs ...Program) (*Graph, error) {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	opts := coreOptions(cfg)
+	if cc := cfg.Cluster; cc != nil && cc.Procs > 1 {
+		tr, err := core.NewTCPTransport(core.TCPConfig{
+			Node:         cc.Proc,
+			Nodes:        cc.Procs,
+			RanksPerNode: cfg.Ranks,
+			Listen:       cc.Listen,
+			Join:         cc.Join,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts.Ranks = cfg.Ranks * cc.Procs
+		opts.Transport = tr
+		return &Graph{eng: core.New(opts, programs...), clusterAddr: tr.ListenAddr()}, nil
+	}
+	opts.Ranks = cfg.Ranks
+	return &Graph{eng: core.New(opts, programs...)}, nil
 }
 
 // Start launches ingestion over the given streams, at most one per rank.
@@ -301,8 +389,20 @@ func (g *Graph) Trace() []TraceEntry { return g.eng.Trace() }
 // immutable copies); nil when sampling is disabled.
 func (g *Graph) Lineage() []Lineage { return g.eng.Lineages() }
 
-// Ranks returns the configured rank count.
+// Ranks returns the configured rank count (the GLOBAL count for a
+// multi-process graph).
 func (g *Graph) Ranks() int { return g.eng.Ranks() }
+
+// ClusterAddr returns the address this process's cluster transport is
+// listening on ("" for an in-process graph or a non-listening process).
+// With ClusterConfig.Listen ":0" this is how peers learn the actual port.
+func (g *Graph) ClusterAddr() string { return g.clusterAddr }
+
+// Err returns the first transport failure of a multi-process run (a peer
+// process dropped mid-run), or nil. After a non-nil Err the local state is
+// a consistent prefix of the run, not the converged answer. Always nil for
+// in-process graphs.
+func (g *Graph) Err() error { return g.eng.Err() }
 
 // WriteCheckpoint serializes the graph's full state — topology plus every
 // program's per-vertex values — so analysis can resume in a later process.

@@ -61,6 +61,14 @@ type Options struct {
 	// for Lineages() (0 selects the default of 16; negative keeps none,
 	// histograms still fill).
 	LineageKeep int
+	// Transport is the update plane moving flushed batches between ranks
+	// (see transport.go). Nil selects the in-process SPSC mailbox
+	// transport — the default and the only behavior before the seam
+	// existed. A multi-process transport (NewTCPTransport) makes Ranks the
+	// GLOBAL rank count: this engine runs goroutines only for the ranks
+	// Transport.Local reports, and the others exist as inert shards owned
+	// by peer processes.
+	Transport Transport
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +99,14 @@ type Engine struct {
 	opts     Options
 	part     partition.Partitioner
 	programs []Program
+	// tr is the update plane (transport.go); remote is true when any
+	// global rank lives in another process, i.e. tr spans processes.
+	tr     Transport
+	remote bool
+	// runErr is the first transport failure (peer dropped mid-run); it
+	// makes Err non-nil and force-finishes the engine.
+	runErrMu sync.Mutex
+	runErr   error
 	// combine[algo] is that program's Combine hook (nil when the program
 	// does not implement Combiner or Options.NoCoalesce is set).
 	combine  []combineFunc
@@ -179,11 +195,31 @@ func New(opts Options, programs ...Program) *Engine {
 	if len(programs) >= int(NoAlgo) {
 		panic("core: too many programs")
 	}
+	if opts.Transport == nil {
+		opts.Transport = NewInProcTransport()
+	}
 	e := &Engine{
 		opts:     opts,
 		part:     opts.Partitioner,
 		programs: programs,
+		tr:       opts.Transport,
 		done:     make(chan struct{}),
+	}
+	if err := e.tr.bind(e); err != nil {
+		panic(fmt.Sprintf("core: transport: %v", err))
+	}
+	for g := 0; g < opts.Ranks; g++ {
+		if !e.tr.Local(g) {
+			e.remote = true
+			break
+		}
+	}
+	if e.remote {
+		// Cascade lineage is process-local: Trace tags are stripped on the
+		// wire, so a sampled cascade that crosses nodes could never retire.
+		// Distributed runs disable the sampler outright.
+		opts.SampleEvery = -1
+		e.opts.SampleEvery = -1
 	}
 	e.combine = make([]combineFunc, len(programs))
 	if !opts.NoCoalesce {
@@ -194,7 +230,7 @@ func New(opts Options, programs ...Program) *Engine {
 		}
 	}
 	e.qCond = sync.NewCond(&e.qMu)
-	if opts.SampleEvery > 0 {
+	if opts.SampleEvery > 0 && !e.remote {
 		e.traces = newTraceTable(max(opts.LineageKeep, 0))
 	}
 	e.ranks = make([]*rank, opts.Ranks)
@@ -223,18 +259,37 @@ func (e *Engine) Start(streams []stream.Stream) error {
 	if e.started.Swap(true) {
 		return fmt.Errorf("core: engine already started")
 	}
+	// Bring the update plane up first: a multi-process transport blocks
+	// here until the full mesh is connected, so by the time any rank loop
+	// runs, Send can reach every peer.
+	if err := e.tr.start(); err != nil {
+		e.stopReq.Store(true)
+		e.finishOnce.Do(func() {
+			e.finished.Store(true)
+			e.state.Store(int32(StateStopped))
+			close(e.done)
+		})
+		return fmt.Errorf("core: transport start: %w", err)
+	}
 	e.state.Store(int32(StateRunning))
-	e.streamsLeft.Store(int32(len(e.ranks)))
+	e.streamsLeft.Store(0)
 	e.startNanos.Store(time.Now().UnixNano())
 	for i, r := range e.ranks {
+		if !e.tr.Local(i) {
+			// A peer process owns this rank; locally it is an inert shard
+			// (no goroutine, no stream — its mailbox only buffers if a bug
+			// ever routes to it, and Collect reads it as empty).
+			r.streamDone = true
+			continue
+		}
 		if i < len(streams) && streams[i] != nil {
 			r.stream = streams[i]
 			if live, ok := r.stream.(stream.Live); ok {
 				live.SetNotify(r.inbox.poke)
 			}
+			e.streamsLeft.Add(1)
 		} else {
 			r.streamDone = true
-			e.streamsLeft.Add(-1)
 		}
 		e.wg.Add(1)
 		go r.loop()
@@ -268,6 +323,7 @@ func (e *Engine) Wait() Stats {
 	<-e.done
 	e.wg.Wait()
 	e.statsOnce.Do(func() {
+		e.tr.stop()
 		s := Stats{Ranks: e.opts.Ranks}
 		if start := e.startNanos.Load(); start != 0 {
 			s.Duration = time.Duration(time.Now().UnixNano() - start)
@@ -343,10 +399,34 @@ func (e *Engine) emitExternal(ev Event) {
 		e.deferred = append(e.deferred, ev)
 		return
 	}
+	owner := e.part.Owner(ev.To)
+	if !e.tr.Local(owner) {
+		// The owning rank lives in a peer process: ship the event
+		// unlabeled and let the owner stamp it with ITS snapshot sequence
+		// (sequences are process-local; distributed runs never bump them).
+		// Before Start the transport buffers it until the mesh is up.
+		e.tr.SendExternal(ev)
+		return
+	}
 	e.labelSeq(&ev)
 	// The external lane is SPSC like every other: extMu (held here) is
 	// what serializes its producer side. pushExternal buffers into the
 	// lane's current chunk, so injection allocates nothing per event.
+	e.ranks[owner].inbox.pushExternal(ev)
+}
+
+// injectExternal is the receiving half of Transport.SendExternal: a peer
+// process routed an engine-external event here because this process owns
+// the target vertex. It runs on a transport goroutine and mirrors
+// emitExternal's tail — extMu serializes it with local external producers
+// (the external mailbox lane stays SPSC) and fences it against a stop.
+func (e *Engine) injectExternal(ev Event) {
+	e.extMu.Lock()
+	defer e.extMu.Unlock()
+	if e.stopReq.Load() || e.finished.Load() && e.started.Load() {
+		return
+	}
+	e.labelSeq(&ev)
 	e.ranks[e.part.Owner(ev.To)].inbox.pushExternal(ev)
 }
 
@@ -384,6 +464,13 @@ func (e *Engine) tryFinish() bool {
 			return false
 		}
 	}
+	// Local quiescence established; the transport decides whether that is
+	// global termination. inproc: always. TCP: only after the Mattern
+	// counter protocol agrees (the call also kicks the coordinator's
+	// detector, and a follower returns true only once TERMINATE arrived).
+	if !e.tr.readyToFinish() {
+		return false
+	}
 	e.finishOnce.Do(func() {
 		e.finished.Store(true)
 		e.state.Store(int32(StateStopped))
@@ -391,6 +478,43 @@ func (e *Engine) tryFinish() bool {
 	})
 	e.signalQuiesce()
 	return true
+}
+
+// finishFromTransport closes the engine on the transport's authority: the
+// distributed termination protocol decided (TERMINATE received, or this
+// node's detector concluded), so no further events can arrive. Parked
+// ranks wake, observe finished, and exit.
+func (e *Engine) finishFromTransport() {
+	e.finishOnce.Do(func() {
+		e.finished.Store(true)
+		e.state.Store(int32(StateStopped))
+		close(e.done)
+	})
+	e.signalQuiesce()
+	e.wakeAll()
+}
+
+// failFromTransport surfaces a transport failure (peer connection dropped
+// mid-run): it records the first error for Err, halts ingestion, and
+// force-finishes the engine. The local state remains a consistent prefix,
+// but the distributed run did not converge.
+func (e *Engine) failFromTransport(err error) {
+	e.runErrMu.Lock()
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.runErrMu.Unlock()
+	e.stopReq.Store(true)
+	e.finishFromTransport()
+}
+
+// Err returns the transport failure that aborted the run, or nil. A
+// non-nil Err means Wait returned without global convergence (a peer
+// process died or its connection dropped).
+func (e *Engine) Err() error {
+	e.runErrMu.Lock()
+	defer e.runErrMu.Unlock()
+	return e.runErr
 }
 
 // wakeAll nudges every rank to re-examine snapshot duty / termination.

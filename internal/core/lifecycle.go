@@ -108,6 +108,12 @@ func (e *Engine) ingestHalted() bool {
 // their streams. Pausing a paused engine is a no-op; pausing an engine
 // that terminated first returns ErrStopped.
 func (e *Engine) Pause() error {
+	if e.remote {
+		// A pause is a globally consistent cut; the control protocol for
+		// that across processes does not exist yet. Collect still works on
+		// the local shard after termination.
+		return errors.New("core: Pause is not supported over a multi-process transport")
+	}
 	e.lifeMu.Lock()
 	defer e.lifeMu.Unlock()
 	switch e.State() {

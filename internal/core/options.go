@@ -87,6 +87,14 @@ func WithLineageKeep(n int) Option {
 	return func(o *Options) { o.LineageKeep = n }
 }
 
+// WithTransport selects the update plane moving flushed batches between
+// ranks (default: the in-process SPSC mailbox transport). With a
+// multi-process transport, WithRanks is the GLOBAL rank count and this
+// engine runs only the ranks the transport reports as local.
+func WithTransport(t Transport) Option {
+	return func(o *Options) { o.Transport = t }
+}
+
 // NewWith builds an engine from functional options; it is New with the
 // Options struct assembled from opts. Later options override earlier ones.
 func NewWith(programs []Program, opts ...Option) *Engine {

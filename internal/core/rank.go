@@ -407,7 +407,11 @@ func (r *rank) flush(dest int) {
 	// whole outbound batch.
 	r.counters.sentTo[dest].Add(uint64(len(r.out[dest])))
 	r.counters.flushesTo[dest].Add(1)
-	r.eng.ranks[dest].inbox.push(r.id, r.out[dest])
+	// The transport seam: inproc pushes straight onto dest's SPSC mailbox
+	// lane (the pre-seam hot path, branch-predicted through the interface);
+	// TCP encodes the batch as one EVENTS frame and hands the events'
+	// in-flight registrations over to the receiving node.
+	r.eng.tr.Send(r.id, dest, r.out[dest])
 	r.out[dest] = r.out[dest][:0]
 }
 

@@ -39,6 +39,12 @@ func (e *Engine) StartSim(streams []stream.Stream) (*SimDriver, error) {
 	if e.started.Swap(true) {
 		return nil, fmt.Errorf("core: engine already started")
 	}
+	if _, inproc := e.tr.(*inprocTransport); !inproc {
+		// The simulator owns every scheduling decision from one goroutine;
+		// a transport with its own connection goroutines would reintroduce
+		// exactly the nondeterminism the harness exists to remove.
+		return nil, fmt.Errorf("core: StartSim requires the in-process transport")
+	}
 	e.simManual = true
 	e.state.Store(int32(StateRunning))
 	e.streamsLeft.Store(int32(len(e.ranks)))

@@ -48,6 +48,13 @@ type Snapshot struct {
 // engine is quiescent the snapshot finalizes without resuming ingestion.
 func (e *Engine) SnapshotAsync(algo int) *Snapshot {
 	e.checkAlgo(algo)
+	if e.remote {
+		// The marker protocol assumes one shared snapshot sequence; across
+		// processes that would need a distributed marker broadcast, which
+		// does not exist yet. Distributed engines keep Seq pinned to 0 on
+		// the wire, so allowing a local bump would desynchronize versions.
+		panic("core: snapshots are not supported over a multi-process transport")
+	}
 	e.snapRequests.Add(1)
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()

@@ -1,0 +1,263 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/gen"
+	"incregraph/internal/graph"
+	"incregraph/internal/stream"
+)
+
+// twoNodeCluster builds two engines joined by a loopback TCP transport:
+// node 0 listens on an ephemeral port, node 1 joins it. Each hosts
+// ranksPer of the 2*ranksPer global ranks.
+func twoNodeCluster(t *testing.T, ranksPer int, opts core.Options, mkPrograms func() []core.Program) (e0, e1 *core.Engine) {
+	t.Helper()
+	t0, err := core.NewTCPTransport(core.TCPConfig{
+		Node: 0, Nodes: 2, RanksPerNode: ranksPer, Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := core.NewTCPTransport(core.TCPConfig{
+		Node: 1, Nodes: 2, RanksPerNode: ranksPer, Join: t0.ListenAddr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o0, o1 := opts, opts
+	o0.Ranks, o1.Ranks = 2*ranksPer, 2*ranksPer
+	o0.Transport, o1.Transport = t0, t1
+	return core.New(o0, mkPrograms()...), core.New(o1, mkPrograms()...)
+}
+
+// runCluster starts both engines concurrently (Start blocks on the mesh)
+// against the same global stream slice and waits for distributed
+// termination.
+func runCluster(t *testing.T, e0, e1 *core.Engine, streams []stream.Stream) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, e := range []*core.Engine{e0, e1} {
+		wg.Add(1)
+		go func(e *core.Engine) {
+			defer wg.Done()
+			if _, err := e.Run(streams); err != nil {
+				t.Errorf("cluster run: %v", err)
+			}
+		}(e)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cluster run did not terminate")
+	}
+	if err := e0.Err(); err != nil {
+		t.Fatalf("node 0: %v", err)
+	}
+	if err := e1.Err(); err != nil {
+		t.Fatalf("node 1: %v", err)
+	}
+}
+
+// mergeCollect merges the two nodes' disjoint local shards into one global
+// vertex->value map.
+func mergeCollect(t *testing.T, e0, e1 *core.Engine, algoIdx int) map[graph.VertexID]uint64 {
+	t.Helper()
+	out := e0.CollectMap(algoIdx)
+	for v, val := range e1.CollectMap(algoIdx) {
+		if prev, dup := out[v]; dup && prev != val {
+			t.Fatalf("vertex %d present on both nodes with values %d and %d", v, prev, val)
+		} else if dup {
+			t.Fatalf("vertex %d present on both nodes (shards not disjoint)", v)
+		}
+		out[v] = val
+	}
+	return out
+}
+
+// TestTCPTwoNodeMatchesSingleProcess is the transport's core differential:
+// a 2-process loopback run (2 ranks per node) must converge to exactly
+// the state of a single-process 4-rank run, for a program with remote
+// inits and heavy cascades (BFS) and one without inits (CC).
+func TestTCPTwoNodeMatchesSingleProcess(t *testing.T) {
+	edges := gen.ErdosRenyi(400, 3200, 42, 1)
+	gen.Shuffle(edges, 7)
+	source := edges[0].Src
+	streams := func() []stream.Stream { return stream.Split(edges, 4) }
+	programs := func() []core.Program { return []core.Program{algo.BFS{}, algo.CC{}} }
+
+	// Reference: one process, inproc transport, same global rank count.
+	ref := core.New(core.Options{Ranks: 4, Undirected: true}, programs()...)
+	ref.InitVertex(0, source)
+	if _, err := ref.Run(streams()); err != nil {
+		t.Fatal(err)
+	}
+	wantBFS := ref.CollectMap(0)
+	wantCC := ref.CollectMap(1)
+
+	e0, e1 := twoNodeCluster(t, 2, core.Options{Undirected: true}, programs)
+	// Init only on node 0: if the source's owner rank lives on node 1, the
+	// event must ride the pre-start EXT buffer across the wire.
+	e0.InitVertex(0, source)
+	runCluster(t, e0, e1, streams())
+
+	gotBFS := mergeCollect(t, e0, e1, 0)
+	gotCC := mergeCollect(t, e0, e1, 1)
+	if len(gotBFS) != len(wantBFS) || len(gotCC) != len(wantCC) {
+		t.Fatalf("cluster reached %d/%d vertices, single-process %d/%d",
+			len(gotBFS), len(gotCC), len(wantBFS), len(wantCC))
+	}
+	for v, want := range wantBFS {
+		if got := gotBFS[v]; got != want {
+			t.Fatalf("BFS: vertex %d = %d, want %d", v, got, want)
+		}
+	}
+	for v, want := range wantCC {
+		if got := gotCC[v]; got != want {
+			t.Fatalf("CC: vertex %d = %d, want %d", v, got, want)
+		}
+	}
+
+	// The termination protocol's own invariant, read back through stats:
+	// everything node 0 sent node 1 arrived, and vice versa.
+	s0 := e0.EngineStats().Transport
+	s1 := e1.EngineStats().Transport
+	if s0.Kind != "tcp" || s1.Kind != "tcp" {
+		t.Fatalf("transport kinds %q/%q, want tcp", s0.Kind, s1.Kind)
+	}
+	if len(s0.Peers) != 1 || len(s1.Peers) != 1 {
+		t.Fatalf("peer counts %d/%d, want 1/1", len(s0.Peers), len(s1.Peers))
+	}
+	if s0.Peers[0].SentEvents != s1.Peers[0].RecvEvents {
+		t.Fatalf("node0 sent %d events, node1 received %d",
+			s0.Peers[0].SentEvents, s1.Peers[0].RecvEvents)
+	}
+	if s1.Peers[0].SentEvents != s0.Peers[0].RecvEvents {
+		t.Fatalf("node1 sent %d events, node0 received %d",
+			s1.Peers[0].SentEvents, s0.Peers[0].RecvEvents)
+	}
+	if s0.Peers[0].SentEvents == 0 && s1.Peers[0].SentEvents == 0 {
+		t.Fatalf("no events crossed the wire — the partition never split across nodes")
+	}
+}
+
+// TestTCPNoCoalesceMatches repeats the differential with monotone
+// coalescing disabled (the main differential runs with it on, BFS's
+// default): the converged state must be identical either way, and the
+// coalescing run must not confuse the termination counters — merged
+// UPDATEs die before they are sent or counted.
+func TestTCPNoCoalesceMatches(t *testing.T) {
+	edges := gen.ErdosRenyi(300, 2400, 9, 1)
+	gen.Shuffle(edges, 3)
+	source := edges[0].Src
+	programs := func() []core.Program { return []core.Program{algo.BFS{}} }
+
+	ref := core.New(core.Options{Ranks: 4, Undirected: true, NoCoalesce: true}, programs()...)
+	ref.InitVertex(0, source)
+	if _, err := ref.Run(stream.Split(edges, 4)); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.CollectMap(0)
+
+	e0, e1 := twoNodeCluster(t, 2, core.Options{Undirected: true, NoCoalesce: true}, programs)
+	e0.InitVertex(0, source)
+	runCluster(t, e0, e1, stream.Split(edges, 4))
+	got := mergeCollect(t, e0, e1, 0)
+	if len(got) != len(want) {
+		t.Fatalf("cluster reached %d vertices, single-process %d", len(got), len(want))
+	}
+	for v, w := range want {
+		if got[v] != w {
+			t.Fatalf("vertex %d = %d, want %d", v, got[v], w)
+		}
+	}
+}
+
+// TestTCPRemoteModeRestrictions: the documented scope cuts hold — Pause
+// and StartSim refuse a multi-process engine, and the lineage sampler is
+// force-disabled.
+func TestTCPRemoteModeRestrictions(t *testing.T) {
+	tr, err := core.NewTCPTransport(core.TCPConfig{
+		Node: 0, Nodes: 2, RanksPerNode: 1, Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(core.Options{Ranks: 2, Transport: tr, SampleEvery: 64}, algo.BFS{})
+	if err := e.Pause(); err == nil {
+		t.Fatal("Pause succeeded on a multi-process engine")
+	}
+	if _, err := e.StartSim(nil); err == nil {
+		t.Fatal("StartSim succeeded with a TCP transport")
+	}
+	if s := e.EngineStats(); s.Latency.SampleEvery > 0 {
+		t.Fatalf("lineage sampler still enabled (SampleEvery=%d)", s.Latency.SampleEvery)
+	}
+	// The engine was never started; it still owns the listener. Release it.
+	if err := e.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e.Wait()
+}
+
+// TestTCPConfigValidation: the constructor rejects malformed worlds, and
+// bind rejects a rank-count mismatch.
+func TestTCPConfigValidation(t *testing.T) {
+	bad := []core.TCPConfig{
+		{Node: 2, Nodes: 2, RanksPerNode: 1, Listen: "127.0.0.1:0"}, // node out of range
+		{Node: 0, Nodes: 2, RanksPerNode: 1},                        // coordinator without Listen
+		{Node: 1, Nodes: 2, RanksPerNode: 1},                        // follower without Join
+		{Node: 0, Nodes: 1, RanksPerNode: 0, Listen: ""},            // zero ranks per node → defaulted to 1, valid
+	}
+	for i, cfg := range bad[:3] {
+		if _, err := core.NewTCPTransport(cfg); err == nil {
+			t.Errorf("case %d: NewTCPTransport accepted %+v", i, cfg)
+		}
+	}
+	if _, err := core.NewTCPTransport(bad[3]); err != nil {
+		t.Errorf("single-node config rejected: %v", err)
+	}
+
+	tr, err := core.NewTCPTransport(core.TCPConfig{Node: 0, Nodes: 2, RanksPerNode: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("New accepted an engine/transport rank mismatch")
+		} else if !strings.Contains(fmt.Sprint(r), "ranks") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	core.New(core.Options{Ranks: 3, Transport: tr}, algo.BFS{})
+}
+
+// TestTCPBootstrapTimeout: a follower that can never reach its
+// coordinator surfaces a Start error instead of hanging.
+func TestTCPBootstrapTimeout(t *testing.T) {
+	tr, err := core.NewTCPTransport(core.TCPConfig{
+		Node: 1, Nodes: 2, RanksPerNode: 1,
+		Join:        "127.0.0.1:1", // reserved port, nothing listens
+		DialTimeout: 300 * time.Millisecond,
+		BootTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(core.Options{Ranks: 2, Transport: tr}, algo.BFS{})
+	if err := e.Start(nil); err == nil {
+		t.Fatal("Start succeeded with an unreachable coordinator")
+	}
+	if s := e.EngineStats().Transport; len(s.Peers) != 1 || s.Peers[0].Reconnects == 0 {
+		t.Fatalf("expected recorded reconnect attempts, got %+v", s.Peers)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+// The transport seam: everything that moves a flushed event batch from one
+// rank to another sits behind Transport, so the engine, rank loop,
+// coalescer, and quiescence detector are written against an abstract
+// update plane rather than concrete mailboxes. Two implementations ship:
+//
+//   - inprocTransport (the default): every rank is local and Send is a
+//     direct push onto the destination's SPSC mailbox lane — byte-for-byte
+//     the pre-seam behavior, bench-verified.
+//   - TCPTransport (tcp.go): global ranks span OS processes; Send to a
+//     remote rank encodes a length-prefixed EVENTS frame onto the one TCP
+//     connection for that node pair (preserving per-sender FIFO), and
+//     global termination is decided by a Mattern-style four-counter
+//     protocol instead of the shared in-flight ring.
+//
+// The seam's contract with the in-flight ring: an event's in-flight
+// registration (labelSeq / rank.emit) always happens on the node that
+// created it, and Send transfers that registration to the receiving node —
+// inproc trivially (same counters), TCP by decrementing locally at frame
+// enqueue and incrementing on the receiver before the mailbox push. Each
+// node's ring therefore counts exactly the events buffered or
+// mid-processing on that node, which is the "locally quiescent" input to
+// the distributed termination decision. Coalescing needs no special case:
+// a merged UPDATE is dropped before its in-flight increment and before any
+// Send, so it never appears in either the ring or the per-channel
+// sent/received counters.
+
+// Transport is the engine's update plane. Exported methods are the data
+// path; the unexported ones are the engine-lifecycle hooks (both shipped
+// implementations live in this package).
+type Transport interface {
+	// Kind names the transport ("inproc", "tcp") for stats and metrics.
+	Kind() string
+	// Local reports whether global rank g runs in this process. Remote
+	// ranks exist as inert shards: no goroutine, no stream, no state.
+	Local(g int) bool
+	// Send delivers one flushed batch from local rank from to global rank
+	// dest, preserving per-sender FIFO order. It never blocks on the
+	// destination (memory is the only backpressure, as with mailboxes).
+	Send(from, dest int, batch []Event)
+	// SendExternal routes an engine-external event (InitVertex / Signal)
+	// whose owning rank is remote. The event is unlabeled; the owning node
+	// stamps it with its own snapshot sequence on arrival. Legal before
+	// start — such events are buffered and delivered once the mesh is up.
+	SendExternal(ev Event)
+
+	// bind attaches the transport to its engine at construction time
+	// (before Start); it validates that the transport's rank span matches
+	// the engine's.
+	bind(e *Engine) error
+	// start brings the data plane up (for TCP: listen/dial the full mesh);
+	// it blocks until every peer is connected or fails. Called once from
+	// Engine.Start.
+	start() error
+	// stop tears the data plane down after the engine has terminated,
+	// flushing any control frames still queued (so a TERMINATE reaches
+	// followers before the connections close).
+	stop()
+	// readyToFinish gates tryFinish: with every local stream exhausted and
+	// the local in-flight ring at zero, may this node declare global
+	// termination? inproc: always (local quiescence is global). TCP
+	// followers: only once the coordinator's TERMINATE arrived (or a local
+	// Stop forces shutdown); the TCP coordinator kicks its detector and
+	// waits for the counter protocol to decide.
+	readyToFinish() bool
+	// transportStats snapshots the transport's live counters.
+	transportStats() TransportStats
+}
+
+// PeerTransportStats is the live counter block of one peer channel.
+type PeerTransportStats struct {
+	// Node is the peer's process index.
+	Node int
+	// SentEvents / RecvEvents are cumulative engine events shipped to /
+	// received from the peer (the counters the termination protocol
+	// compares). AckedEvents is the peer's last acknowledged cumulative
+	// receive count — the credit view: SentEvents - AckedEvents events are
+	// still somewhere in the channel.
+	SentEvents  uint64
+	RecvEvents  uint64
+	AckedEvents uint64
+	// SentFrames / RecvFrames count wire frames (events and control).
+	SentFrames uint64
+	RecvFrames uint64
+	// Reconnects counts dial attempts beyond each connection's first
+	// (the retry-with-backoff loop at work).
+	Reconnects uint64
+}
+
+// TransportStats describes the active transport in an EngineStats
+// snapshot.
+type TransportStats struct {
+	// Kind is the transport name ("inproc", "tcp").
+	Kind string
+	// Node / Nodes locate this process in the cluster (0 of 1 for
+	// inproc).
+	Node  int
+	Nodes int
+	// Peers holds one counter block per remote node (nil for inproc).
+	Peers []PeerTransportStats
+}
+
+// inprocTransport is the default transport: all ranks share the process
+// and Send is a direct SPSC mailbox push — the exact pre-seam hot path.
+type inprocTransport struct {
+	e *Engine
+}
+
+// NewInProcTransport returns the default in-process transport (Options
+// with a nil Transport select it implicitly).
+func NewInProcTransport() Transport { return &inprocTransport{} }
+
+func (t *inprocTransport) Kind() string   { return "inproc" }
+func (t *inprocTransport) Local(int) bool { return true }
+func (t *inprocTransport) bind(e *Engine) error {
+	t.e = e
+	return nil
+}
+func (t *inprocTransport) start() error { return nil }
+func (t *inprocTransport) stop()        {}
+
+func (t *inprocTransport) Send(from, dest int, batch []Event) {
+	t.e.ranks[dest].inbox.push(from, batch)
+}
+
+// SendExternal is unreachable for inproc: every rank is local, so
+// emitExternal always takes the direct pushExternal path.
+func (t *inprocTransport) SendExternal(Event) {
+	panic("core: inproc transport has no remote ranks")
+}
+
+// readyToFinish: every rank is local, so local quiescence (which tryFinish
+// has already established) is global quiescence.
+func (t *inprocTransport) readyToFinish() bool { return true }
+
+func (t *inprocTransport) transportStats() TransportStats {
+	return TransportStats{Kind: t.Kind(), Nodes: 1}
+}

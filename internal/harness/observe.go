@@ -69,6 +69,8 @@ func Counters(cfg Config) *Table {
 		metrics.HumanCount(es.MailboxHWM))
 	t.AddNote("engine-side rate: %s over %s uptime; event skew %.2f (max/mean per-rank events)",
 		metrics.HumanRate(es.EventRate()), fmtDur(es.Uptime), eventSkew(es))
+	t.AddNote("transport: %s (node %d of %d) — inter-rank sends above are %s pushes",
+		es.Transport.Kind, es.Transport.Node, es.Transport.Nodes, es.Transport.Kind)
 	return t
 }
 

@@ -61,6 +61,13 @@ func fixedStats() core.EngineStats {
 		{Rank: 0, MailboxHWM: 12, MailboxDepth: 3},
 		{Rank: 1, MailboxHWM: 7, MailboxDepth: 0},
 	}
+	s.Transport = core.TransportStats{
+		Kind: "tcp", Node: 0, Nodes: 2,
+		Peers: []core.PeerTransportStats{{
+			Node: 1, SentEvents: 250, RecvEvents: 240, AckedEvents: 250,
+			SentFrames: 12, RecvFrames: 11, Reconnects: 1,
+		}},
+	}
 	return s
 }
 

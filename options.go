@@ -83,3 +83,11 @@ func NewGraph(programs []Program, opts ...Option) *Graph {
 func WithoutCoalescing() Option {
 	return func(c *Config) { c.NoCoalesce = true }
 }
+
+// WithCluster spans the graph across multiple OS processes (see
+// ClusterConfig); WithRanks then counts the ranks hosted by EACH process.
+// NewGraph panics if the cluster transport cannot be constructed — use
+// NewCluster when the listen/dial errors must be handled.
+func WithCluster(cc ClusterConfig) Option {
+	return func(c *Config) { c.Cluster = &cc }
+}
