@@ -63,6 +63,7 @@ func newDebugMux(g *incregraph.Graph) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		metrics.WritePrometheus(w, g.Stats())
 	})
+	mux.HandleFunc("/query", handleQuery(g))
 	mux.HandleFunc("/lineage", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		ls := g.Lineage()
@@ -120,6 +121,16 @@ func writeStatsSummary(w http.ResponseWriter, s incregraph.EngineStats) {
 	fmt.Fprintf(w, "service:   %s queries, %d snapshots, parked %s\n",
 		metrics.HumanCount(s.QueriesServed), s.SnapshotsTaken,
 		s.ParkedTime.Round(time.Millisecond))
+	if sv := s.Serve; sv.Enabled {
+		fmt.Fprintf(w, "serve:     epoch %d (published %d), %s publishes (%s restamps)\n",
+			sv.Epoch, sv.PublishedEpoch,
+			metrics.HumanCount(sv.Publishes), metrics.HumanCount(sv.Restamps))
+		fmt.Fprintf(w, "reads:     %s point, %s batch, %s topk, %s nbhd (%s vertices); point p99=%s batch p99=%s\n",
+			metrics.HumanCount(sv.PointReads), metrics.HumanCount(sv.BatchReads),
+			metrics.HumanCount(sv.TopKReads), metrics.HumanCount(sv.NbhdReads),
+			metrics.HumanCount(sv.ReadVertices),
+			s.Latency.QueryPoint.Quantile(0.99), s.Latency.QueryBatch.Quantile(0.99))
+	}
 	fmt.Fprintf(w, "\n%-5s %10s %10s %10s %10s %10s %10s %8s %8s %9s\n",
 		"rank", "topo", "algo", "sent", "self", "combined", "drains", "hwm", "depth", "parked")
 	for _, r := range s.PerRank {

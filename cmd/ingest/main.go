@@ -68,9 +68,21 @@ func main() {
 		listen  = flag.String("listen", "", "cluster: address to accept peer connections on (process 0 and any process a higher one dials)")
 		join    = flag.String("join", "", "cluster: process 0's listen address (required for rank-id > 0)")
 		dump    = flag.String("dump", "", "after convergence, write this process's algorithm shard as 'vertex value' lines to FILE (- for stdout)")
+		srvOn   = flag.Bool("serve", false, "enable the MVCC read plane and the batched JSON /query API on -debug.addr")
+		srvEvry = flag.Duration("serve.every", 0, "read-plane epoch cadence (0 = engine default 50ms; implies -serve)")
+		linger  = flag.Duration("linger", 0, "after the run (and -dump) completes, keep the process and its -debug.addr endpoints alive this long before exiting")
 	)
 	flag.Parse()
 	cluster := *procs > 1
+	// The linger window runs on every normal exit path (fatal uses os.Exit
+	// and skips it): scripts/query_smoke.sh waits for the "linger:" line,
+	// then diffs /query answers against the -dump file.
+	if *linger > 0 {
+		defer func() {
+			fmt.Printf("linger: serving for %s before exit\n", *linger)
+			time.Sleep(*linger)
+		}()
+	}
 
 	// Catch interrupts from the start: one arriving while the dataset is
 	// still loading is buffered and honored as soon as the engine exists.
@@ -101,6 +113,8 @@ func main() {
 		Ranks:       *ranks,
 		TraceDepth:  *traceN,
 		SampleEvery: *sample,
+		Serve:       *srvOn || *srvEvry > 0,
+		ServeEvery:  *srvEvry,
 	}
 	if cluster {
 		cfg.Cluster = &incregraph.ClusterConfig{
@@ -133,7 +147,11 @@ func main() {
 		if err := startDebugServer(*dbgAddr, g); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("debug: serving /debug/vars, /debug/pprof, /metrics, /stats, /lineage on http://%s\n", *dbgAddr)
+		routes := "/debug/vars, /debug/pprof, /metrics, /stats, /lineage"
+		if g.ServeEnabled() {
+			routes += ", /query"
+		}
+		fmt.Printf("debug: serving %s on http://%s\n", routes, *dbgAddr)
 	}
 
 	// Graceful shutdown: a first interrupt stops the engine at a quiescent
@@ -195,6 +213,13 @@ func main() {
 		h := lat.IngestToQuiesce
 		fmt.Printf("latency: ingest→quiesce p50=%s p99=%s p99.9=%s (n=%d, 1/%d sampled)\n",
 			h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Count, lat.SampleEvery)
+	}
+	if sv := es.Serve; sv.Enabled {
+		fmt.Printf("serve: epoch %d (published %d), %s publishes (%s restamps), reads %s point / %s batch / %s topk / %s nbhd\n",
+			sv.Epoch, sv.PublishedEpoch,
+			metrics.HumanCount(sv.Publishes), metrics.HumanCount(sv.Restamps),
+			metrics.HumanCount(sv.PointReads), metrics.HumanCount(sv.BatchReads),
+			metrics.HumanCount(sv.TopKReads), metrics.HumanCount(sv.NbhdReads))
 	}
 	if err := g.Err(); err != nil {
 		fatal(err)

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"incregraph"
+)
+
+// /query request caps: generous for batching, small enough that a single
+// request can't pin a CPU or balloon the response.
+const (
+	maxQueryBody    = 1 << 20
+	maxQueriesPerRq = 256
+	maxBatchVerts   = 4096
+	maxTopK         = 1024
+	maxNbhdDepth    = 8
+	maxNbhdLimit    = 10000
+)
+
+// queryRequest is the POST /query body: one algorithm, many verbs, one
+// round trip.
+type queryRequest struct {
+	Algo    int         `json:"algo"`
+	Queries []queryVerb `json:"queries"`
+}
+
+// queryVerb is one read: op selects the verb, the other fields are
+// per-verb operands (unused ones are ignored).
+type queryVerb struct {
+	Op       string   `json:"op"`                 // point | batch | topk | neighborhood
+	Vertex   uint64   `json:"vertex,omitempty"`   // point, neighborhood
+	Vertices []uint64 `json:"vertices,omitempty"` // batch
+	K        int      `json:"k,omitempty"`        // topk (default 10)
+	Dir      string   `json:"dir,omitempty"`      // topk: min (default) | max
+	Depth    int      `json:"depth,omitempty"`    // neighborhood (default 1)
+	Limit    int      `json:"limit,omitempty"`    // neighborhood (default 1000)
+}
+
+// queryResponse echoes the epoch every answer is at least as fresh as
+// (the minimum over the per-result epochs — read-your-epoch consistency:
+// a client that remembers the last epoch it saw can detect going back in
+// time, which the plane never does per vertex).
+type queryResponse struct {
+	Epoch   uint64        `json:"epoch"`
+	Results []queryResult `json:"results"`
+}
+
+type queryResult struct {
+	Op     string       `json:"op"`
+	Epoch  uint64       `json:"epoch"`
+	Values []queryValue `json:"values"`
+}
+
+type queryValue struct {
+	Vertex uint64 `json:"vertex"`
+	Value  uint64 `json:"value"`
+	Found  bool   `json:"found"`
+	Depth  int    `json:"depth,omitempty"` // neighborhood only
+}
+
+func queryError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{ //nolint:errcheck // best-effort
+		"error": fmt.Sprintf(format, args...),
+	})
+}
+
+// handleQuery serves the batched JSON read API over the MVCC read plane.
+// Every path must degrade to a 4xx/503 JSON error — never a panic — for
+// arbitrary input (fuzzed by FuzzQueryRequest).
+func handleQuery(g *incregraph.Graph) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			queryError(w, http.StatusMethodNotAllowed, "POST a JSON query batch (see README)")
+			return
+		}
+		if !g.ServeEnabled() {
+			queryError(w, http.StatusServiceUnavailable, "serve plane disabled; run with -serve")
+			return
+		}
+		var req queryRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			queryError(w, http.StatusBadRequest, "bad query body: %v", err)
+			return
+		}
+		if req.Algo < 0 || req.Algo >= g.Programs() {
+			queryError(w, http.StatusBadRequest, "algo %d out of range [0,%d)", req.Algo, g.Programs())
+			return
+		}
+		if len(req.Queries) == 0 {
+			queryError(w, http.StatusBadRequest, "empty query list")
+			return
+		}
+		if len(req.Queries) > maxQueriesPerRq {
+			queryError(w, http.StatusBadRequest, "%d queries > limit %d", len(req.Queries), maxQueriesPerRq)
+			return
+		}
+		resp := queryResponse{Results: make([]queryResult, 0, len(req.Queries))}
+		minEpoch := ^uint64(0)
+		for i := range req.Queries {
+			res, err := serveOne(g, req.Algo, &req.Queries[i])
+			if err != "" {
+				queryError(w, http.StatusBadRequest, "query %d: %s", i, err)
+				return
+			}
+			if res.Epoch < minEpoch {
+				minEpoch = res.Epoch
+			}
+			resp.Results = append(resp.Results, res)
+		}
+		resp.Epoch = minEpoch
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck // best-effort
+	}
+}
+
+// serveOne executes one verb; a non-empty error string means 400.
+func serveOne(g *incregraph.Graph, algo int, q *queryVerb) (queryResult, string) {
+	res := queryResult{Op: q.Op}
+	switch q.Op {
+	case "point":
+		val, epoch := g.ReadPoint(algo, incregraph.VertexID(q.Vertex))
+		res.Epoch = epoch
+		res.Values = []queryValue{{Vertex: uint64(val.Vertex), Value: val.Val, Found: val.Found}}
+	case "batch":
+		if len(q.Vertices) == 0 {
+			return res, "batch without vertices"
+		}
+		if len(q.Vertices) > maxBatchVerts {
+			return res, fmt.Sprintf("batch of %d > limit %d", len(q.Vertices), maxBatchVerts)
+		}
+		ids := make([]incregraph.VertexID, len(q.Vertices))
+		for i, v := range q.Vertices {
+			ids[i] = incregraph.VertexID(v)
+		}
+		vals, epoch := g.ReadBatch(algo, ids, nil)
+		res.Epoch = epoch
+		res.Values = make([]queryValue, len(vals))
+		for i, v := range vals {
+			res.Values[i] = queryValue{Vertex: uint64(v.Vertex), Value: v.Val, Found: v.Found}
+		}
+	case "topk":
+		k := q.K
+		if k == 0 {
+			k = 10
+		}
+		if k < 0 || k > maxTopK {
+			return res, fmt.Sprintf("k %d outside (0,%d]", k, maxTopK)
+		}
+		dir := incregraph.ReadMin
+		switch q.Dir {
+		case "", "min":
+		case "max":
+			dir = incregraph.ReadMax
+		default:
+			return res, fmt.Sprintf("dir %q (want min or max)", q.Dir)
+		}
+		entries, epoch := g.ReadTopK(algo, k, dir)
+		res.Epoch = epoch
+		res.Values = make([]queryValue, len(entries))
+		for i, e := range entries {
+			res.Values[i] = queryValue{Vertex: uint64(e.Vertex), Value: e.Val, Found: true}
+		}
+	case "neighborhood":
+		depth := q.Depth
+		if depth == 0 {
+			depth = 1
+		}
+		if depth < 0 || depth > maxNbhdDepth {
+			return res, fmt.Sprintf("depth %d outside (0,%d]", depth, maxNbhdDepth)
+		}
+		limit := q.Limit
+		if limit == 0 {
+			limit = 1000
+		}
+		if limit < 0 || limit > maxNbhdLimit {
+			return res, fmt.Sprintf("limit %d outside (0,%d]", limit, maxNbhdLimit)
+		}
+		nodes, epoch := g.ReadNeighborhood(algo, incregraph.VertexID(q.Vertex), depth, limit)
+		res.Epoch = epoch
+		res.Values = make([]queryValue, len(nodes))
+		for i, n := range nodes {
+			res.Values[i] = queryValue{Vertex: uint64(n.Vertex), Value: n.Val, Found: n.Found, Depth: n.Depth}
+		}
+	default:
+		return res, fmt.Sprintf("unknown op %q (want point, batch, topk, or neighborhood)", q.Op)
+	}
+	return res, ""
+}

@@ -112,6 +112,14 @@ func renderWatch(out io.Writer, cur, prev incregraph.EngineStats, dt time.Durati
 	} else {
 		line("wire      %s (single process)", ts.Kind)
 	}
+	if sv := cur.Serve; sv.Enabled {
+		line("serve     epoch %d (published %d)   %12s publishes   %12s reads/s   point p99 %-10s",
+			sv.Epoch, sv.PublishedEpoch,
+			rate(sv.Publishes, prev.Serve.Publishes),
+			rate(sv.PointReads+sv.BatchReads+sv.TopKReads+sv.NbhdReads,
+				prev.Serve.PointReads+prev.Serve.BatchReads+prev.Serve.TopKReads+prev.Serve.NbhdReads),
+			cur.Latency.QueryPoint.Quantile(0.99))
+	}
 	line("")
 	if lat := cur.Latency; lat.SampleEvery > 0 {
 		h := lat.IngestToQuiesce

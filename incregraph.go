@@ -3,9 +3,11 @@ package incregraph
 import (
 	"context"
 	"io"
+	"time"
 
 	"incregraph/internal/core"
 	"incregraph/internal/graph"
+	"incregraph/internal/serve"
 	"incregraph/internal/static"
 	"incregraph/internal/stream"
 )
@@ -74,6 +76,23 @@ type (
 	// PeerTransportStats is one peer channel's live counter block:
 	// sent/received/acknowledged events and frame/reconnect counts.
 	PeerTransportStats = core.PeerTransportStats
+	// ReadValue is one served vertex value of the MVCC read plane (see
+	// Config.Serve and Graph.ReadPoint/ReadBatch).
+	ReadValue = serve.Value
+	// TopKEntry is one best-first result of Graph.ReadTopK.
+	TopKEntry = serve.Entry
+	// NbhdNode is one vertex of a Graph.ReadNeighborhood traversal.
+	NbhdNode = serve.NbhdNode
+	// ReadDir orders a top-K read (ReadMin / ReadMax).
+	ReadDir = serve.Dir
+	// ServeStats is the read plane's slice of an EngineStats snapshot.
+	ServeStats = core.ServeStats
+)
+
+// Top-K read directions (see Graph.ReadTopK).
+const (
+	ReadMin = serve.DirMin
+	ReadMax = serve.DirMax
 )
 
 // Lifecycle states (see Graph.State).
@@ -134,6 +153,17 @@ type Config struct {
 	// retains for Lineage() (0 selects the default of 16; negative keeps
 	// none while the latency histograms still fill).
 	LineageKeep int
+	// Serve enables the MVCC read plane: every rank publishes an
+	// immutable epoch-stamped segment of its vertex values and adjacency
+	// at each epoch boundary, and ReadPoint/ReadBatch/ReadTopK/
+	// ReadNeighborhood serve from the published segments lock-free —
+	// concurrent high-QPS reads while ingestion never pauses. Answers
+	// are stale by at most one epoch but always a consistent committed
+	// prefix; every read reports the epoch it was current at.
+	Serve bool
+	// ServeEvery is the read plane's epoch cadence (default 50ms).
+	// Ignored unless Serve is set.
+	ServeEvery time.Duration
 	// Cluster, when non-nil, spans the graph across Cluster.Procs OS
 	// processes over TCP. Ranks then counts the ranks hosted by EACH
 	// process (the global rank space is Ranks × Procs), and this process
@@ -210,6 +240,8 @@ func coreOptions(cfg Config) core.Options {
 		NoCoalesce:   cfg.NoCoalesce,
 		SampleEvery:  cfg.SampleEvery,
 		LineageKeep:  cfg.LineageKeep,
+		Serve:        cfg.Serve,
+		ServeEvery:   cfg.ServeEvery,
 	}
 }
 
@@ -362,6 +394,52 @@ func (g *Graph) Drain(streams ...*LiveStream) {
 		pushed += s.Pushed()
 	}
 	g.eng.WaitDrained(func() uint64 { return pushed })
+}
+
+// ServeEnabled reports whether the MVCC read plane is on (Config.Serve).
+func (g *Graph) ServeEnabled() bool { return g.eng.ServeEnabled() }
+
+// ServeEpoch returns the read plane's current global epoch (0 when
+// disabled). Epochs advance every Config.ServeEvery; every Read* answer
+// reports the epoch it was current at, which is at most one behind.
+func (g *Graph) ServeEpoch() uint64 { return g.eng.ServeEpoch() }
+
+// Programs returns the number of hooked programs (algo arguments range
+// over [0, Programs())).
+func (g *Graph) Programs() int { return g.eng.Programs() }
+
+// ReadPoint serves vertex v's published value for program algo from the
+// MVCC read plane: lock-free, legal from any goroutine in any lifecycle
+// state, never blocking ingestion. The answer is the value at the
+// returned epoch — stale by at most one epoch interval, but always a
+// consistent committed prefix (never a torn mid-event view). Found is
+// false when v doesn't exist at that epoch (or its owner is a remote
+// process — the plane serves the local shard, like Collect). Requires
+// Config.Serve; otherwise every read is not-found at epoch 0.
+func (g *Graph) ReadPoint(algo int, v VertexID) (ReadValue, uint64) {
+	return g.eng.ReadPoint(algo, v)
+}
+
+// ReadBatch serves many point lookups in one call against
+// per-rank-consistent views, appending to out (pass a reused buffer to
+// avoid allocation; nil is fine). The epoch is the minimum over the
+// owners touched — every answer is at least that fresh.
+func (g *Graph) ReadBatch(algo int, ids []VertexID, out []ReadValue) ([]ReadValue, uint64) {
+	return g.eng.ReadBatch(algo, ids, out)
+}
+
+// ReadTopK serves the k best published values for program algo,
+// best-first (ReadMin: smallest, e.g. distances; ReadMax: largest, e.g.
+// widest capacities). Vertices whose value is still Unset are excluded.
+func (g *Graph) ReadTopK(algo, k int, dir ReadDir) ([]TopKEntry, uint64) {
+	return g.eng.ReadTopK(algo, k, dir)
+}
+
+// ReadNeighborhood serves a breadth-first k-hop traversal of the
+// published adjacency rooted at root (at most limit nodes, BFS order,
+// root first), each node carrying its published value for algo.
+func (g *Graph) ReadNeighborhood(algo int, root VertexID, depth, limit int) ([]NbhdNode, uint64) {
+	return g.eng.ReadNeighborhood(algo, root, depth, limit)
 }
 
 // Stats aggregates the engine's live per-rank counters into a point-in-time

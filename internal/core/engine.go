@@ -9,6 +9,7 @@ import (
 
 	"incregraph/internal/graph"
 	"incregraph/internal/partition"
+	"incregraph/internal/serve"
 	"incregraph/internal/stream"
 )
 
@@ -69,6 +70,17 @@ type Options struct {
 	// Transport.Local reports, and the others exist as inert shards owned
 	// by peer processes.
 	Transport Transport
+	// Serve enables the MVCC read plane (internal/serve): each local rank
+	// publishes an immutable epoch-stamped segment of its vertex values
+	// and adjacency at every epoch boundary, and ReadPoint/ReadBatch/
+	// ReadTopK/ReadNeighborhood serve lock-free from the published
+	// segments while ingestion keeps running. Off by default: publication
+	// costs the owner an O(V) copy per epoch.
+	Serve bool
+	// ServeEvery is the epoch cadence of the read plane's ticker (0
+	// selects 50ms). Ignored unless Serve is set; sim-driven engines
+	// advance epochs via SimDriver.ServeAdvance instead of a ticker.
+	ServeEvery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +98,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LineageKeep == 0 {
 		o.LineageKeep = 16
+	}
+	if o.ServeEvery == 0 {
+		o.ServeEvery = 50 * time.Millisecond
 	}
 	return o
 }
@@ -116,6 +131,12 @@ type Engine struct {
 	// negative — the only check the untraced hot path ever makes is
 	// Event.Trace == 0).
 	traces *traceTable
+	// plane is the MVCC read plane (nil unless Options.Serve): local ranks
+	// publish immutable epoch-stamped segments into it, Read* serve from
+	// it lock-free. srv holds the engine-side read counters and latency
+	// histograms (serve itself is engine-free).
+	plane *serve.Plane
+	srv   *serveStats
 
 	// inflight counts unprocessed events per snapshot-sequence ring slot
 	// (ring size 4 > the 2 sequences that can coexist). The engine is
@@ -233,9 +254,16 @@ func New(opts Options, programs ...Program) *Engine {
 	if opts.SampleEvery > 0 && !e.remote {
 		e.traces = newTraceTable(max(opts.LineageKeep, 0))
 	}
+	if opts.Serve {
+		e.plane = serve.NewPlane(e.part, len(programs), e.tr.Local)
+		e.srv = &serveStats{}
+	}
 	e.ranks = make([]*rank, opts.Ranks)
 	for i := range e.ranks {
 		e.ranks[i] = newRank(e, i)
+		if e.plane != nil && e.tr.Local(i) {
+			e.ranks[i].pub = e.plane.Publisher(i)
+		}
 	}
 	return e
 }
@@ -274,6 +302,24 @@ func (e *Engine) Start(streams []stream.Stream) error {
 	e.state.Store(int32(StateRunning))
 	e.streamsLeft.Store(0)
 	e.startNanos.Store(time.Now().UnixNano())
+	if e.plane != nil {
+		// Epoch ticker: bump the plane's epoch and wake every rank so each
+		// publishes at its next event boundary. Exits when the engine
+		// finishes; sim-driven engines never reach here (StartSim).
+		go func() {
+			t := time.NewTicker(e.opts.ServeEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.done:
+					return
+				case <-t.C:
+					e.plane.Advance()
+					e.wakeAll()
+				}
+			}
+		}()
+	}
 	for i, r := range e.ranks {
 		if !e.tr.Local(i) {
 			// A peer process owns this rank; locally it is an inert shard

@@ -173,4 +173,11 @@ type LatencyStats struct {
 	MailboxResidency HistogramSnapshot `json:"mailbox_residency"`
 	BatchDrain       HistogramSnapshot `json:"batch_drain"`
 	FlushInterval    HistogramSnapshot `json:"flush_interval"`
+	// Query* time the serve-plane read verbs (ReadPoint/ReadBatch/
+	// ReadTopK/ReadNeighborhood), one sample per call — empty unless
+	// Options.Serve is set and reads happened.
+	QueryPoint HistogramSnapshot `json:"query_point"`
+	QueryBatch HistogramSnapshot `json:"query_batch"`
+	QueryTopK  HistogramSnapshot `json:"query_topk"`
+	QueryNbhd  HistogramSnapshot `json:"query_nbhd"`
 }

@@ -316,6 +316,10 @@ func (r *rank) park() {
 		case <-r.inbox.wakeChan():
 			r.drainQueries()
 			r.snapshotChores()
+			// A parked rank still honors epoch boundaries (the publish is
+			// a restamp unless events landed since — they can't while
+			// parked, so this keeps served epochs fresh at zero copy cost).
+			r.publishChores()
 			if !e.pauseReq.Load() {
 				return
 			}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"incregraph/internal/graph"
+	"incregraph/internal/serve"
 	"incregraph/internal/stream"
 )
 
@@ -73,6 +74,12 @@ type rank struct {
 	curTrace    uint64
 	drainLeft   int
 	lastFlushNS int64
+
+	// pub is this rank's single-writer handle onto the MVCC read plane
+	// (nil unless Options.Serve and the rank is local): mutation handlers
+	// mirror adjacency changes into it, and publishChores swaps in a fresh
+	// immutable segment at every epoch boundary.
+	pub *serve.Publisher
 }
 
 type queryReq struct {
@@ -113,6 +120,7 @@ func (r *rank) loop() {
 	for {
 		r.snapshotChores()
 		r.drainQueries()
+		r.publishChores()
 
 		// IngestFirst pulls a topology event BEFORE draining the mailbox
 		// (eager ingestion, §V-C's tradeoff knob) but the mailbox is still
@@ -189,6 +197,43 @@ func (r *rank) loop() {
 func (r *rank) exit() {
 	r.snapshotChores()
 	r.drainQueries()
+	// Publish the converged final state unconditionally (restamps if the
+	// last epoch's segment already carries it): after termination the read
+	// plane serves exactly what Collect would return.
+	r.publishNow()
+}
+
+// publishChores publishes a fresh serve-plane segment if an epoch boundary
+// passed since this rank's last publication. Called at event boundaries
+// only — the segment is always a consistent committed prefix.
+func (r *rank) publishChores() {
+	if r.pub != nil && r.pub.Due() {
+		r.publishNow()
+	}
+}
+
+// publishNow builds and swaps in this rank's segment (see serve.Publisher;
+// no-ops into a restamp when no event was processed since the last one).
+func (r *rank) publishNow() {
+	if r.pub == nil {
+		return
+	}
+	r.pub.Publish(r.store.IDs(), r.values, r.counters.totalEvents())
+}
+
+// mirrorAdd reflects an edge insertion into the serve plane's adjacency
+// mirror: a brand-new half-edge appends, a duplicate may have merged its
+// weight under the store's policy — fetch the merged result and mirror
+// that (no-op if unchanged).
+func (r *rank) mirrorAdd(slot graph.Slot, nbr graph.VertexID, w graph.Weight, isNew bool) {
+	if r.pub == nil {
+		return
+	}
+	if isNew {
+		r.pub.EdgeAdded(slot, nbr, w)
+	} else if merged, ok := r.store.EdgeWeight(slot, nbr); ok {
+		r.pub.EdgeWeight(slot, nbr, merged)
+	}
 }
 
 // pullStream ingests one topology event; it returns false when no event is
@@ -456,6 +501,16 @@ func (r *rank) setPrevValue(algo uint8, slot graph.Slot, v uint64) {
 	r.prevValues[algo][slot] = v
 }
 
+// prevValue reads previous-version state; slots beyond the marker-time
+// copy that no old-version event has touched read as Unset.
+func (r *rank) prevValue(algo uint8, slot graph.Slot) uint64 {
+	pv := r.prevValues[algo]
+	if int(slot) >= len(pv) {
+		return Unset
+	}
+	return pv[slot]
+}
+
 // grownTo returns vals extended (in one step) so that slot is in range.
 func grownTo(vals []uint64, slot graph.Slot) []uint64 {
 	if int(slot) < len(vals) {
@@ -496,6 +551,8 @@ func (r *rank) process(ev *Event) {
 		r.handleAdd(ev)
 	case KindReverseAdd:
 		r.handleReverseAdd(ev)
+	case KindReverseAddPrev:
+		r.handleReverseAddPrev(ev)
 	case KindUpdate:
 		r.handleUpdate(ev)
 	case KindInit:
@@ -532,10 +589,11 @@ func (r *rank) ctx(algo uint8, slot graph.Slot, id graph.VertexID, seq uint32, v
 }
 
 func (r *rank) handleAdd(ev *Event) {
-	slot, created, _ := r.store.AddEdge(ev.To, ev.From, ev.W, ev.Seq)
+	slot, created, isNew := r.store.AddEdge(ev.To, ev.From, ev.W, ev.Seq)
 	if created {
 		r.growValues(slot)
 	}
+	r.mirrorAdd(slot, ev.From, ev.W, isNew)
 	for a := range r.eng.programs {
 		ctx := r.ctx(uint8(a), slot, ev.To, ev.Seq, viewLive)
 		r.eng.programs[a].OnAdd(&ctx, ev.From, ev.W)
@@ -558,15 +616,25 @@ func (r *rank) handleAdd(ev *Event) {
 		for a := range r.eng.programs {
 			r.emit(Event{Kind: KindReverseAdd, Algo: uint8(a), Seq: ev.Seq,
 				To: ev.From, From: ev.To, Val: r.values[a][slot], W: ev.W})
+			if r.dualRun(ev.Seq, uint8(a)) {
+				// The reverse-add above carries the live value, which may
+				// already be converged past the snapshot prefix; the
+				// destination's previous-version callback needs the
+				// *previous-version* value or it can skip the
+				// back-notification the old version still requires.
+				r.emit(Event{Kind: KindReverseAddPrev, Algo: uint8(a), Seq: ev.Seq,
+					To: ev.From, From: ev.To, Val: r.prevValue(uint8(a), slot), W: ev.W})
+			}
 		}
 	}
 }
 
 func (r *rank) handleReverseAdd(ev *Event) {
-	slot, created, _ := r.store.AddEdge(ev.To, ev.From, ev.W, ev.Seq)
+	slot, created, isNew := r.store.AddEdge(ev.To, ev.From, ev.W, ev.Seq)
 	if created {
 		r.growValues(slot)
 	}
+	r.mirrorAdd(slot, ev.From, ev.W, isNew)
 	if ev.Algo == NoAlgo {
 		return
 	}
@@ -577,6 +645,21 @@ func (r *rank) handleReverseAdd(ev *Event) {
 		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
 		p.OnReverseAdd(&pctx, ev.From, ev.Val, ev.W)
 	}
+}
+
+// handleReverseAddPrev runs the previous-version half of an undirected
+// edge insertion whose forward half dual-ran: the same OnReverseAdd
+// exchange, but with the first endpoint's previous-version value and
+// against the previous-version view only. The topology work already
+// happened when the ordinary reverse-add — emitted immediately before this
+// twin on the same FIFO channel — was processed.
+func (r *rank) handleReverseAddPrev(ev *Event) {
+	slot, ok := r.store.SlotOf(ev.To)
+	if !ok || !r.dualRun(ev.Seq, ev.Algo) {
+		return
+	}
+	pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
+	r.eng.programs[ev.Algo].OnReverseAdd(&pctx, ev.From, ev.Val, ev.W)
 }
 
 func (r *rank) handleUpdate(ev *Event) {
@@ -621,6 +704,9 @@ func (r *rank) handleDelete(ev *Event) {
 	// callbacks only for a resolvable vertex and fall back to Unset for
 	// the reverse notification's carried value.
 	slot, ok := r.store.SlotOf(ev.To)
+	if r.pub != nil && ok {
+		r.pub.EdgeDeleted(slot, ev.From)
+	}
 	if ok {
 		r.growValues(slot)
 		for a, p := range r.eng.programs {
@@ -650,6 +736,13 @@ func (r *rank) handleDelete(ev *Event) {
 
 func (r *rank) handleReverseDelete(ev *Event) {
 	removed := r.store.DeleteEdge(ev.To, ev.From)
+	if removed && r.pub != nil {
+		// Mirror before the program-level early returns: the reverse edge
+		// is gone from the store regardless of what the programs do.
+		if slot, ok := r.store.SlotOf(ev.To); ok {
+			r.pub.EdgeDeleted(slot, ev.From)
+		}
+	}
 	if !removed || ev.Algo == NoAlgo {
 		return
 	}

@@ -230,6 +230,35 @@ func (d *SimDriver) Finish() error {
 	return nil
 }
 
+// Owner returns the rank owning vertex v under the engine's partitioner
+// (the rank whose serve segment publishes v).
+func (d *SimDriver) Owner(v graph.VertexID) int { return d.e.part.Owner(v) }
+
+// ServeEnabled reports whether the engine was built with Options.Serve.
+func (d *SimDriver) ServeEnabled() bool { return d.e.plane != nil }
+
+// ServeAdvance bumps the serve plane's epoch — the sim-driven stand-in
+// for the production ticker (StartSim never starts one). No-op when the
+// plane is off.
+func (d *SimDriver) ServeAdvance() {
+	if d.e.plane != nil {
+		d.e.plane.Advance()
+	}
+}
+
+// ServePublishDue reports whether rank owes the plane a publication for
+// the current epoch.
+func (d *SimDriver) ServePublishDue(rank int) bool {
+	r := d.e.ranks[rank]
+	return r.pub != nil && r.pub.Due()
+}
+
+// ServePublish makes rank publish its segment now, due or not (the
+// engine's exit() path does the same unconditional publish at
+// termination). Like every SimDriver step this stands in for work the
+// rank's own goroutine would do, at a legal event boundary.
+func (d *SimDriver) ServePublish(rank int) { d.e.ranks[rank].publishNow() }
+
 // SetFlushHook installs an observer called with every outbound batch at
 // flush time, before it is pushed (and before any mutation hook corrupts
 // it): the ground truth for per-sender FIFO checking.

@@ -713,10 +713,24 @@ func (t *TCPTransport) handleFrame(p *tcpPeer, ft frameType, payload []byte) err
 			// round times out and retries.
 		}
 	case frameTerminate:
-		if _, err := parseU64Payload(payload); err != nil {
+		seq, err := parseU64Payload(payload)
+		if err != nil {
 			return err
 		}
-		t.decided.Store(true)
+		if !t.decided.Swap(true) {
+			// Echo the decision on every other connection before teardown
+			// begins. In a >=3-node mesh the coordinator's TERMINATE to a
+			// peer races this node's exit: the peer would otherwise see our
+			// clean close as a bare EOF mid-protocol (different TCP streams
+			// have no mutual ordering) and surface it as a transport error.
+			// Per-connection FIFO plus the writer drain on stop guarantees
+			// every peer reads a TERMINATE on our connection before its EOF.
+			for _, pp := range t.peers {
+				if pp != nil && pp != p {
+					pp.q.push(frameTerminate, appendU64Payload(nil, seq), false)
+				}
+			}
+		}
 		t.e.finishFromTransport()
 	case frameAck:
 		cum, err := parseU64Payload(payload)

@@ -112,6 +112,14 @@ func (s *Store) SlotOf(v VertexID) (Slot, bool) {
 // IDOf returns the VertexID stored at slot.
 func (s *Store) IDOf(slot Slot) VertexID { return s.ids[slot] }
 
+// IDs exposes the slot -> VertexID slice itself. The slice is append-only
+// — slot i's id is written once and never reassigned — which is exactly
+// the contract the MVCC read plane (internal/serve) relies on to share it
+// across published segments without copying: a reader bounded by an older
+// length never observes an index being written, and a growth reallocation
+// leaves the old array intact. Callers must not mutate it.
+func (s *Store) IDs() []VertexID { return s.ids }
+
 // EnsureVertex returns the slot for v, creating the vertex if needed.
 // The second result reports whether the vertex was newly created.
 func (s *Store) EnsureVertex(v VertexID) (Slot, bool) {
@@ -131,8 +139,11 @@ func (s *Store) EnsureVertex(v VertexID) (Slot, bool) {
 // lives in its owner's shard, and appears here only as a neighbour ID
 // inside src's adjacency. If the edge already exists its weight merges per
 // the store's WeightPolicy (default: keep the minimum — the paper's SSSP
-// "edge updates limited only to reducing edge weight", §II-B); the stored
-// Seq is unchanged.
+// "edge updates limited only to reducing edge weight", §II-B) and the
+// stored Seq is lowered to the smaller of the two: a parallel edge ingested
+// before a snapshot marker belongs to the previous version even when a
+// post-marker duplicate raced ahead of it, and previous-version propagation
+// (NeighborsBefore) must be able to traverse it.
 // Returns the source slot, whether the source vertex was created, and
 // whether the adjacency entry is new.
 func (s *Store) AddEdge(src, dst VertexID, w Weight, seq uint32) (srcSlot Slot, srcCreated, isNew bool) {
@@ -142,9 +153,11 @@ func (s *Store) AddEdge(src, dst VertexID, w Weight, seq uint32) (srcSlot Slot, 
 		p, existed := a.large.GetOrPut(uint64(dst), packWS(w, seq))
 		if existed {
 			ew, eseq := unpackWS(*p)
-			if merged := s.mergeWeight(ew, w); merged != ew {
-				*p = packWS(merged, eseq)
+			merged := s.mergeWeight(ew, w)
+			if seq < eseq {
+				eseq = seq
 			}
+			*p = packWS(merged, eseq)
 			return srcSlot, srcCreated, false
 		}
 		s.edges++
@@ -153,6 +166,9 @@ func (s *Store) AddEdge(src, dst VertexID, w Weight, seq uint32) (srcSlot Slot, 
 	for i := range a.small {
 		if a.small[i].Nbr == dst {
 			a.small[i].W = s.mergeWeight(a.small[i].W, w)
+			if seq < a.small[i].Seq {
+				a.small[i].Seq = seq
+			}
 			return srcSlot, srcCreated, false
 		}
 	}

@@ -80,6 +80,47 @@ func TestAddEdgeDuplicateLowersWeight(t *testing.T) {
 	}
 }
 
+// TestAddEdgeDuplicateLowersSeq: a duplicate insertion with an earlier
+// snapshot sequence must lower the stored stamp — a parallel edge ingested
+// before a marker belongs to the previous version even when a post-marker
+// duplicate raced ahead, and NeighborsBefore must be able to traverse it.
+func TestAddEdgeDuplicateLowersSeq(t *testing.T) {
+	for _, promote := range []bool{false, true} {
+		s := NewStore(0)
+		if promote {
+			// Force the Robin Hood representation for vertex 1.
+			for n := VertexID(10); n < 30; n++ {
+				s.AddEdge(1, n, 1, 2)
+			}
+		}
+		s.AddEdge(1, 2, 5, 1) // post-marker duplicate arrives first
+		s.AddEdge(1, 2, 5, 0) // pre-marker original
+		slot, _ := s.SlotOf(1)
+		seen := false
+		s.NeighborsBefore(slot, 1, func(nbr VertexID, w Weight) bool {
+			if nbr == 2 {
+				seen = true
+			}
+			return true
+		})
+		if !seen {
+			t.Fatalf("promote=%v: pre-marker duplicate left edge stamped post-marker", promote)
+		}
+		// A later duplicate must never raise the stamp back.
+		s.AddEdge(1, 2, 5, 3)
+		seen = false
+		s.NeighborsBefore(slot, 1, func(nbr VertexID, w Weight) bool {
+			if nbr == 2 {
+				seen = true
+			}
+			return true
+		})
+		if !seen {
+			t.Fatalf("promote=%v: later duplicate raised the stamp", promote)
+		}
+	}
+}
+
 func TestWeightPolicies(t *testing.T) {
 	cases := []struct {
 		policy  WeightPolicy

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// CompareOptions tunes CompareBenchReports.
+type CompareOptions struct {
+	// Tolerance is the allowed fractional throughput regression (0.15 =
+	// current may be up to 15% below baseline before failing).
+	Tolerance float64
+	// MinLookupsPerSec is an absolute floor for the mixed cell's read
+	// throughput (0 disables). The ISSUE target is 1e6 at scale 10.
+	MinLookupsPerSec float64
+	// MinLatencySamples guards the p99 check: cells with fewer samples on
+	// either side are skipped (power-of-two histograms on a handful of
+	// cascades are noise, not signal).
+	MinLatencySamples uint64
+}
+
+// cellKey identifies a bench cell across reports.
+type cellKey struct {
+	Dataset, Algo, Scenario string
+	Ranks                   int
+}
+
+func (k cellKey) String() string {
+	s := fmt.Sprintf("%s/%s/r%d", k.Dataset, k.Algo, k.Ranks)
+	if k.Scenario != "" {
+		s += "/" + k.Scenario
+	}
+	return s
+}
+
+// CompareBenchReports diffs a current bench report against a committed
+// baseline and returns one human-readable failure per regression (empty
+// slice = pass). It understands schema 2 and 3 baselines — a schema-2
+// baseline simply has no mixed cell to match — but the current report must
+// be schema 3. Cells present in only one report are not failures: the
+// baseline ages as the sweep grows, and CI should fail on regressions, not
+// on coverage drift (those show up in review as the committed baseline is
+// regenerated).
+//
+// The throughput gate is two-level, because quick-sweep cells finish in
+// milliseconds and single-cell rates drift ±20% run to run even best-of-N
+// on an idle machine — a per-cell 15% floor would flake forever:
+//   - aggregate: the geometric mean of per-cell current/baseline ingest
+//     ratios must be >= 1-Tolerance. Averaged over the ~60-cell sweep,
+//     scheduler noise cancels (variance of the mean falls as 1/sqrt(n))
+//     while a real engine-wide regression moves every ratio at once.
+//   - per cell: a catastrophic floor at 3x Tolerance (a 45% drop at the
+//     default 15%) catches a single-cell collapse — one algorithm or
+//     dataset falling off a cliff — that the mean would dilute.
+//
+// Tail latency stays per cell: current p99 > baseline p99 * 4*(1+Tolerance)
+// fails, skipped under MinLatencySamples (4x because power-of-two buckets
+// quantize — millisecond cells routinely jump two bucket boundaries on
+// scheduler luck alone, so only a three-bucket move is signal).
+//
+// Mixed cells ("scenario": "mixed") are exempt from the relative checks:
+// their split between ingest and lookups is scheduler luck (readers and
+// ranks share the CPUs), so run-to-run drift far exceeds any real
+// regression signal. Their gate is the absolute MinLookupsPerSec floor —
+// the serving plane must clear its throughput target outright, every run.
+func CompareBenchReports(baseline, current *BenchReport, opts CompareOptions) []string {
+	var fails []string
+	if baseline.Schema != 2 && baseline.Schema != 3 {
+		return []string{fmt.Sprintf("baseline schema %d not understood (want 2 or 3)", baseline.Schema)}
+	}
+	if current.Schema != 3 {
+		return []string{fmt.Sprintf("current schema %d not understood (want 3)", current.Schema)}
+	}
+	if baseline.Scale != current.Scale || baseline.EdgeFactor != current.EdgeFactor {
+		return []string{fmt.Sprintf(
+			"workload mismatch: baseline scale=%d ef=%d vs current scale=%d ef=%d (regenerate the baseline)",
+			baseline.Scale, baseline.EdgeFactor, current.Scale, current.EdgeFactor)}
+	}
+
+	base := make(map[cellKey]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[cellKey{r.Dataset, r.Algo, r.Scenario, r.Ranks}] = r
+	}
+	logRatioSum, matched := 0.0, 0
+	for _, cur := range current.Results {
+		key := cellKey{cur.Dataset, cur.Algo, cur.Scenario, cur.Ranks}
+		b, ok := base[key]
+		if !ok {
+			continue
+		}
+		if cur.Scenario == "mixed" {
+			if opts.MinLookupsPerSec > 0 && cur.LookupsPerSec < opts.MinLookupsPerSec {
+				fails = append(fails, fmt.Sprintf(
+					"%s: read throughput %.0f lookups/s below absolute floor %.0f",
+					key, cur.LookupsPerSec, opts.MinLookupsPerSec))
+			}
+			continue
+		}
+		if b.EventsPerSec > 0 && cur.EventsPerSec > 0 {
+			logRatioSum += math.Log(cur.EventsPerSec / b.EventsPerSec)
+			matched++
+		}
+		if floor := b.EventsPerSec * (1 - 3*opts.Tolerance); cur.EventsPerSec < floor {
+			fails = append(fails, fmt.Sprintf(
+				"%s: ingest throughput %.0f ev/s collapsed below floor %.0f (baseline %.0f, 3x tol %.0f%%)",
+				key, cur.EventsPerSec, floor, b.EventsPerSec, 3*opts.Tolerance*100))
+		}
+		if b.LatencySamples >= opts.MinLatencySamples && cur.LatencySamples >= opts.MinLatencySamples &&
+			b.LatP99Nanos > 0 {
+			ceil := float64(b.LatP99Nanos) * 4 * (1 + opts.Tolerance)
+			if float64(cur.LatP99Nanos) > ceil {
+				fails = append(fails, fmt.Sprintf(
+					"%s: p99 ingest-to-quiesce %dns above ceiling %.0fns (baseline %dns)",
+					key, cur.LatP99Nanos, ceil, b.LatP99Nanos))
+			}
+		}
+	}
+	if matched > 0 {
+		geomean := math.Exp(logRatioSum / float64(matched))
+		if geomean < 1-opts.Tolerance {
+			fails = append(fails, fmt.Sprintf(
+				"sweep-wide ingest throughput at %.1f%% of baseline (geomean over %d cells, floor %.0f%%)",
+				geomean*100, matched, (1-opts.Tolerance)*100))
+		}
+	}
+	return fails
+}
+
+// BenchGeomean returns the geometric mean of per-cell current/baseline
+// ingest-throughput ratios over the matched non-mixed cells (1.0 = parity;
+// 0 if nothing matches). The same aggregate CompareBenchReports gates on,
+// exposed for reporting.
+func BenchGeomean(baseline, current *BenchReport) float64 {
+	base := make(map[cellKey]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[cellKey{r.Dataset, r.Algo, r.Scenario, r.Ranks}] = r
+	}
+	logSum, matched := 0.0, 0
+	for _, cur := range current.Results {
+		if cur.Scenario == "mixed" {
+			continue
+		}
+		b, ok := base[cellKey{cur.Dataset, cur.Algo, cur.Scenario, cur.Ranks}]
+		if !ok || b.EventsPerSec <= 0 || cur.EventsPerSec <= 0 {
+			continue
+		}
+		logSum += math.Log(cur.EventsPerSec / b.EventsPerSec)
+		matched++
+	}
+	if matched == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(matched))
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func cmpOpts() CompareOptions {
+	return CompareOptions{Tolerance: 0.15, MinLookupsPerSec: 1e6, MinLatencySamples: 8}
+}
+
+func baseReport() *BenchReport {
+	return &BenchReport{
+		Schema: 3, Scale: 10, EdgeFactor: 8, GoMaxProcs: 1,
+		Results: []BenchResult{
+			{Dataset: "twitter-sim", Algo: "CC", Ranks: 2, EventsPerSec: 1e6,
+				LatencySamples: 16, LatP99Nanos: 1_000_000},
+			{Dataset: "twitter-sim", Algo: "CC", Ranks: 2, Scenario: "mixed",
+				EventsPerSec: 8e5, LookupsPerSec: 5e6, Lookups: 1 << 20, Readers: 2},
+		},
+	}
+}
+
+func TestCompareBenchReportsPass(t *testing.T) {
+	b := baseReport()
+	cur := baseReport()
+	// Mild slowdown inside tolerance, latency two buckets worse (routine
+	// power-of-two quantization drift); the mixed cell halves its lookup
+	// rate (scheduler noise) but stays over the absolute floor.
+	cur.Results[0].EventsPerSec = 0.9e6
+	cur.Results[0].LatP99Nanos = 4_000_000
+	cur.Results[1].LookupsPerSec = 2.5e6
+	if fails := CompareBenchReports(b, cur, cmpOpts()); len(fails) != 0 {
+		t.Fatalf("expected pass, got %v", fails)
+	}
+}
+
+func TestCompareBenchReportsRegressions(t *testing.T) {
+	b := baseReport()
+	cur := baseReport()
+	cur.Results[0].EventsPerSec = 0.5e6    // 50% drop: past the 3x-tol cliff AND drags the geomean under
+	cur.Results[0].LatP99Nanos = 5_000_000 // > 4x(1+tol) ceiling
+	cur.Results[1].LookupsPerSec = 0.9e6   // below the 1e6 absolute floor
+	fails := CompareBenchReports(b, cur, cmpOpts())
+	want := []string{"collapsed", "p99 ingest-to-quiesce", "absolute floor", "sweep-wide"}
+	for _, w := range want {
+		found := false
+		for _, f := range fails {
+			if strings.Contains(f, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no failure mentioning %q in %v", w, fails)
+		}
+	}
+	if len(fails) != 4 {
+		t.Errorf("want 4 failures, got %d: %v", len(fails), fails)
+	}
+}
+
+// TestCompareBenchReportsGeomean: a uniform within-cliff slowdown passes
+// per cell but fails the sweep-wide geometric-mean floor.
+func TestCompareBenchReportsGeomean(t *testing.T) {
+	b := baseReport()
+	b.Results = append(b.Results, BenchResult{
+		Dataset: "sk2005-sim", Algo: "BFS", Ranks: 1, EventsPerSec: 2e6})
+	cur := baseReport()
+	cur.Results = append(cur.Results, BenchResult{
+		Dataset: "sk2005-sim", Algo: "BFS", Ranks: 1, EventsPerSec: 2e6 * 0.8})
+	cur.Results[0].EventsPerSec = 1e6 * 0.8 // both plain cells at 80%: geomean 0.8 < 0.85
+	fails := CompareBenchReports(b, cur, cmpOpts())
+	if len(fails) != 1 || !strings.Contains(fails[0], "sweep-wide") {
+		t.Fatalf("want only the geomean failure, got %v", fails)
+	}
+	// One noisy cell at 80% among an otherwise-at-par sweep: no failure.
+	cur.Results[0].EventsPerSec = 1e6
+	if fails := CompareBenchReports(b, cur, cmpOpts()); len(fails) != 0 {
+		t.Fatalf("single noisy cell should pass, got %v", fails)
+	}
+}
+
+func TestCompareBenchReportsSchema2Baseline(t *testing.T) {
+	b := baseReport()
+	b.Schema = 2
+	b.Results = b.Results[:1] // schema 2 has no mixed cell
+	cur := baseReport()
+	if fails := CompareBenchReports(b, cur, cmpOpts()); len(fails) != 0 {
+		t.Fatalf("schema-2 baseline should compare clean, got %v", fails)
+	}
+	b.Schema = 4
+	fails := CompareBenchReports(b, cur, cmpOpts())
+	if len(fails) != 1 || !strings.Contains(fails[0], "baseline schema") {
+		t.Fatalf("want schema rejection, got %v", fails)
+	}
+}
+
+func TestCompareBenchReportsWorkloadMismatch(t *testing.T) {
+	b := baseReport()
+	cur := baseReport()
+	cur.Scale = 12
+	fails := CompareBenchReports(b, cur, cmpOpts())
+	if len(fails) != 1 || !strings.Contains(fails[0], "workload mismatch") {
+		t.Fatalf("want workload mismatch, got %v", fails)
+	}
+}
+
+func TestCompareBenchReportsLatencyGuard(t *testing.T) {
+	b := baseReport()
+	cur := baseReport()
+	cur.Results[0].LatencySamples = 3 // under MinLatencySamples
+	cur.Results[0].LatP99Nanos = 50_000_000
+	if fails := CompareBenchReports(b, cur, cmpOpts()); len(fails) != 0 {
+		t.Fatalf("under-sampled latency should be skipped, got %v", fails)
+	}
+}
+
+// TestMixedServeBenchQuick smoke-runs the mixed cell at test scale: the
+// read plane must serve lookups during live ingestion and the cell must
+// carry the schema-3 fields.
+func TestMixedServeBenchQuick(t *testing.T) {
+	res := MixedServeBench(Config{Quick: true, Scale: 8, EdgeFactor: 4, Ranks: []int{2}})
+	if res.Scenario != "mixed" || res.Readers != mixedReaders {
+		t.Fatalf("scenario fields wrong: %+v", res)
+	}
+	if res.Lookups == 0 || res.LookupsPerSec <= 0 {
+		t.Fatalf("no lookups served: %+v", res)
+	}
+	if res.EventsPerSec <= 0 || res.TopoEvents == 0 {
+		t.Fatalf("ingest side empty: %+v", res)
+	}
+}

@@ -15,17 +15,26 @@ func TestBenchJSONQuick(t *testing.T) {
 		t.Skip("bench sweep in -short mode")
 	}
 	cfg := Config{Quick: true, Ranks: []int{1, 2}}
-	rep := BenchJSON(cfg)
+	rep := BenchJSON(cfg, 1, AggBest)
 
-	want := len(Datasets(cfg)) * len(Algorithms()) * len(cfg.Ranks)
+	// Full sweep plus the schema-3 mixed read/write cell.
+	want := len(Datasets(cfg))*len(Algorithms())*len(cfg.Ranks) + 1
 	if len(rep.Results) != want {
 		t.Fatalf("report has %d results, want %d", len(rep.Results), want)
 	}
-	if rep.Schema != 2 || rep.Scale != 10 || rep.EdgeFactor != 8 {
+	if rep.Schema != 3 || rep.Scale != 10 || rep.EdgeFactor != 8 {
 		t.Fatalf("report header = %+v", rep)
 	}
+	var mixed int
 	var combined uint64
 	for _, r := range rep.Results {
+		if r.Scenario == "mixed" {
+			mixed++
+			if r.Lookups == 0 || r.LookupsPerSec <= 0 || r.Readers == 0 {
+				t.Fatalf("mixed cell has no read side: %+v", r)
+			}
+			continue
+		}
 		if r.EventsPerSec <= 0 || r.TopoEvents == 0 {
 			t.Fatalf("%s/%s/ranks=%d: rate %.0f, topo %d — dead cell",
 				r.Dataset, r.Algo, r.Ranks, r.EventsPerSec, r.TopoEvents)
@@ -44,6 +53,9 @@ func TestBenchJSONQuick(t *testing.T) {
 	}
 	if combined == 0 {
 		t.Fatal("coalescing never fired across the whole sweep")
+	}
+	if mixed != 1 {
+		t.Fatalf("want exactly one mixed cell, got %d", mixed)
 	}
 
 	// The report must round-trip as JSON (the only consumer is tooling).

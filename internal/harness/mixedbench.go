@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/graph"
+	"incregraph/internal/serve"
+	"incregraph/internal/stream"
+)
+
+// mixedBatchSize is the ids-per-ReadBatch the mixed workload issues: large
+// enough that the per-call segment-pointer loads amortize (the serving
+// plane's design point), small enough to model an interactive dashboard
+// request rather than a bulk export.
+const mixedBatchSize = 512
+
+// mixedReaders is how many goroutines hammer the read plane while
+// ingestion saturates the ranks. Two is deliberate: even on a single
+// hardware thread it proves readers never block ingestion (they share the
+// scheduler, not any lock), and on multicore boxes it exercises the
+// concurrent segment-swap path.
+const mixedReaders = 2
+
+// MixedServeBench runs the schema-3 mixed read/write cell: CC over the
+// twitter-sim stream with the MVCC read plane enabled, while mixedReaders
+// goroutines issue batched point lookups for the entire ingestion window.
+// The cell records both sides — ingest events/sec (comparable to the plain
+// CC cell, quantifying read-plane drag) and lookups/sec with batched-read
+// latency percentiles.
+func MixedServeBench(cfg Config) BenchResult {
+	cfg = cfg.withDefaults()
+	d := TwitterSim(cfg)
+	edges := d.Edges()
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+
+	e := core.New(core.Options{
+		Ranks:      ranks,
+		Undirected: true,
+		Serve:      true,
+		ServeEvery: 5 * time.Millisecond,
+	}, algo.CC{})
+
+	// Readers draw ids uniformly from the dataset's vertex-id space;
+	// misses (vertices not yet ingested) are part of the workload.
+	idSpace := int64(1) << uint(cfg.Scale)
+	var lookups atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < mixedReaders; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ids := make([]graph.VertexID, mixedBatchSize)
+			var out []serve.Value
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range ids {
+					ids[i] = graph.VertexID(rng.Int63n(idSpace))
+				}
+				out, _ = e.ReadBatch(0, ids, out[:0])
+				lookups.Add(uint64(len(out)))
+			}
+		}(int64(1000 + r))
+	}
+
+	stats, err := e.Run(stream.Split(edges, ranks))
+	if err != nil {
+		panic(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	es := e.EngineStats()
+	res := BenchResult{
+		Dataset:       d.Name,
+		Algo:          "CC",
+		Ranks:         ranks,
+		Scenario:      "mixed",
+		Readers:       mixedReaders,
+		DurationMS:    float64(stats.Duration.Microseconds()) / 1e3,
+		EventsPerSec:  stats.EventsPerSec,
+		TopoEvents:    es.Events.Topo(),
+		AlgoEvents:    es.Events.Algo(),
+		MessagesSent:  es.MessagesSent,
+		SelfDelivered: es.SelfDelivered,
+		CombinedAway:  es.CombinedAway,
+		EvPerFlush:    es.BatchingFactor(),
+		Lookups:       lookups.Load(),
+	}
+	if res.TopoEvents > 0 {
+		res.EventsPerTopo = float64(es.Events.Total()) / float64(res.TopoEvents)
+	}
+	if sec := stats.Duration.Seconds(); sec > 0 {
+		res.LookupsPerSec = float64(res.Lookups) / sec
+	}
+	if h := es.Latency.IngestToQuiesce; h.Count > 0 {
+		res.LatencySamples = h.Count
+		res.LatP50Nanos = int64(h.Quantile(0.50))
+		res.LatP99Nanos = int64(h.Quantile(0.99))
+		res.LatP999Nanos = int64(h.Quantile(0.999))
+	}
+	if h := es.Latency.QueryBatch; h.Count > 0 {
+		res.QueryP50Nanos = int64(h.Quantile(0.50))
+		res.QueryP99Nanos = int64(h.Quantile(0.99))
+	}
+	return res
+}

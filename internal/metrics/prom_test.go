@@ -55,6 +55,14 @@ func fixedStats() core.EngineStats {
 			MailboxResidency: hist(map[int]uint64{9: 2, 12: 1}, 6000),
 			BatchDrain:       hist(map[int]uint64{13: 3}, 18000),
 			FlushInterval:    hist(nil, 0), // a family with zero observations still renders
+			QueryPoint:       hist(map[int]uint64{8: 3, 10: 1}, 5000),
+			QueryBatch:       hist(map[int]uint64{12: 2}, 9000),
+			QueryTopK:        hist(map[int]uint64{13: 1}, 7000),
+			QueryNbhd:        hist(nil, 0),
+		},
+		Serve: core.ServeStats{
+			Enabled: true, Epoch: 12, PublishedEpoch: 11, Publishes: 20, Restamps: 4,
+			PointReads: 500, BatchReads: 30, TopKReads: 7, NbhdReads: 3, ReadVertices: 1200,
 		},
 	}
 	s.PerRank = []core.RankEngineStats{

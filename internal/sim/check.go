@@ -6,6 +6,7 @@ import (
 
 	"incregraph/internal/core"
 	"incregraph/internal/graph"
+	"incregraph/internal/serve"
 )
 
 // order is the monotone direction of a REMO program's per-vertex state:
@@ -66,15 +67,35 @@ type checker struct {
 	// traced[{lineage, node}] collects every processed event that carried
 	// that trace, for the post-run lineage exactness check.
 	traced map[[2]uint32][]core.Event
+
+	// MVCC read-plane state (Config.Serve runs only). serveFloor[r] is the
+	// static fixpoint of the last globally-quiescent ingestion prefix seen
+	// before rank r's most recent publish — a sound lower bound for every
+	// value r's segment serves from then on. fullOracle bounds reads from
+	// above; owner maps a vertex to its publishing rank.
+	serveFloor []map[graph.VertexID]uint64
+	lastServe  map[graph.VertexID]serveObs
+	fullOracle map[graph.VertexID]uint64
+	owner      func(graph.VertexID) int
+	serveReads int
+}
+
+// serveObs is the most recent read-plane observation of one vertex.
+type serveObs struct {
+	epoch uint64
+	val   uint64
+	found bool
 }
 
 func newChecker(ord order, ranks int) *checker {
 	return &checker{
-		ord:       ord,
-		ranks:     ranks,
-		fifo:      make(map[[2]int][]core.Event),
-		lastQuery: make(map[graph.VertexID]uint64),
-		traced:    make(map[[2]uint32][]core.Event),
+		ord:        ord,
+		ranks:      ranks,
+		fifo:       make(map[[2]int][]core.Event),
+		lastQuery:  make(map[graph.VertexID]uint64),
+		traced:     make(map[[2]uint32][]core.Event),
+		serveFloor: make([]map[graph.VertexID]uint64, ranks),
+		lastServe:  make(map[graph.VertexID]serveObs),
 	}
 }
 
@@ -164,6 +185,46 @@ func (c *checker) observeQuery(v graph.VertexID, res core.QueryResult) {
 		c.violatef("query: vertex %d regressed from %d to %d between observations", v, prev, res.Value)
 	}
 	c.lastQuery[v] = res.Value
+}
+
+// observeServe validates one MVCC read-plane observation against the
+// stale-but-consistent contract. Per vertex: the epoch never regresses, a
+// published vertex never vanishes, and values follow the program's
+// monotone direction. Every served value is also sandwiched — at least as
+// converged as its owner rank's publish-time floor (serveFloor) and no
+// more converged than the full-stream fixpoint — and a Found answer for a
+// vertex the full stream never creates is a fabrication.
+func (c *checker) observeServe(v graph.VertexID, val serve.Value, epoch uint64) {
+	c.serveReads++
+	prev, seen := c.lastServe[v]
+	if seen && epoch < prev.epoch {
+		c.violatef("serve: vertex %d read at epoch %d after epoch %d", v, epoch, prev.epoch)
+	}
+	if seen && prev.found && !val.Found {
+		c.violatef("serve: vertex %d was published (value %d) and then vanished", v, prev.val)
+	}
+	if val.Found {
+		if seen && prev.found && !c.ord.subsumes(val.Val, prev.val) {
+			c.violatef("serve: vertex %d regressed from %d to %d between reads", v, prev.val, val.Val)
+		}
+		full, exists := c.fullOracle[v]
+		switch {
+		case !exists:
+			c.violatef("serve: vertex %d (value %d) served but it never exists in the full-stream state", v, val.Val)
+		case !c.ord.subsumes(full, val.Val):
+			c.violatef("serve: vertex %d served at %d, ahead of the full-stream fixpoint %d", v, val.Val, full)
+		}
+		if fl := c.serveFloor[c.owner(v)]; fl != nil {
+			floor, ok := fl[v]
+			if !ok {
+				floor = bottom(c.ord)
+			}
+			if !c.ord.subsumes(val.Val, floor) {
+				c.violatef("serve: vertex %d served at %d, behind its owner's publish-time floor %d", v, val.Val, floor)
+			}
+		}
+	}
+	c.lastServe[v] = serveObs{epoch: epoch, val: val.Val, found: val.Found}
 }
 
 // finalChecks runs once the engine has terminated: every flushed event

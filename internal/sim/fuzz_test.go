@@ -18,6 +18,7 @@ func fuzzConfig(graphSeed, schedSeed int64, sel uint64, raw []byte) Config {
 		ScheduleSeed: schedSeed,
 		Ranks:        int(sel/8)%4 + 1,
 		NoCoalesce:   sel&0x80 != 0,
+		Serve:        sel&0x100 != 0,
 	}
 	if len(raw) > 900 {
 		raw = raw[:900] // keep individual runs fast
@@ -42,6 +43,7 @@ func FuzzSimDifferential(f *testing.F) {
 	f.Add(int64(5), int64(6), uint64(10), []byte{7, 7, 1, 0, 7, 3})
 	f.Add(int64(7), int64(8), uint64(0x82), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add(int64(9), int64(10), uint64(27), []byte{31, 0, 1, 0, 31, 2, 15, 16, 3})
+	f.Add(int64(11), int64(12), uint64(0x11a), []byte{2, 3, 1, 3, 4, 2, 4, 2, 1})
 	f.Fuzz(func(t *testing.T, graphSeed, schedSeed int64, sel uint64, raw []byte) {
 		cfg := fuzzConfig(graphSeed, schedSeed, sel, raw)
 		res := Run(cfg)

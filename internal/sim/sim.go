@@ -77,6 +77,14 @@ type Config struct {
 	// actually observed being processed.
 	SampleEvery int
 	LineageKeep int
+	// Serve enables the MVCC read plane: the scheduler gains epoch-advance
+	// and per-rank publish actions (StartSim never runs the production
+	// ticker, so epoch timing is fully schedule-controlled), samples
+	// lock-free reads between steps, and the checker sandwiches every
+	// served value between its owner's publish-time quiescent-prefix
+	// fixpoint and the full-stream fixpoint. After Finish, a forced
+	// publish must make the plane agree with Collect exactly.
+	Serve bool
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +132,11 @@ type Result struct {
 	// LatencySamples is the ingest-to-quiescence histogram's sample count.
 	Lineages       []core.Lineage
 	LatencySamples uint64
+	// ServeReads and ServePublishes count the read-plane observations the
+	// scheduler sampled and the publish steps it drove (zero when
+	// Config.Serve is off) — the vacuity guards for the serve checker.
+	ServeReads     int
+	ServePublishes int
 	// Final is the converged state of the single program.
 	Final map[graph.VertexID]uint64
 }
@@ -136,16 +149,18 @@ func (r Result) Failed() bool { return len(r.Violations) > 0 }
 type actKind uint8
 
 const (
-	actPull   actKind = iota // rank ingests one topology event
-	actDrain                 // rank drains one mailbox lane
-	actSelf                  // rank processes one self-ring event
-	actFlush                 // rank flushes one outbound buffer
-	actChores                // rank advances its snapshot duties
-	actInit                  // issue the next InitVertex
-	actSnap                  // request an asynchronous snapshot
-	actPause                 // halt ingestion (simulated pause)
-	actResume                // resume ingestion
-	actCkpt                  // checkpoint round-trip at a paused quiescent cut
+	actPull       actKind = iota // rank ingests one topology event
+	actDrain                     // rank drains one mailbox lane
+	actSelf                      // rank processes one self-ring event
+	actFlush                     // rank flushes one outbound buffer
+	actChores                    // rank advances its snapshot duties
+	actInit                      // issue the next InitVertex
+	actSnap                      // request an asynchronous snapshot
+	actPause                     // halt ingestion (simulated pause)
+	actResume                    // resume ingestion
+	actCkpt                      // checkpoint round-trip at a paused quiescent cut
+	actServeEpoch                // advance the read plane's epoch (bounded budget)
+	actServePub                  // rank publishes its due serve segment
 )
 
 type action struct {
@@ -170,6 +185,7 @@ func Run(cfg Config) Result {
 		NoCoalesce:   cfg.NoCoalesce,
 		SampleEvery:  cfg.SampleEvery,
 		LineageKeep:  cfg.LineageKeep,
+		Serve:        cfg.Serve,
 	}, monitor(sp.prog(w), chk))
 	d, err := e.StartSim(stream.Split(w.edges, cfg.Ranks))
 	if err != nil {
@@ -177,6 +193,7 @@ func Run(cfg Config) Result {
 		return Result{Violations: chk.violations}
 	}
 	chk.d = d
+	chk.owner = d.Owner
 	d.SetFlushHook(chk.onFlush)
 	d.SetMergeHook(chk.onMerge)
 	switch cfg.Mutation {
@@ -219,7 +236,18 @@ func Run(cfg Config) Result {
 		pauseLeft = 2
 		ckptLeft  = 1
 		acts      []action
+		// Read-plane scheduling state: a bounded epoch budget (so the
+		// action set eventually drains), the ingestion-prefix lengths at
+		// the last globally-quiescent cut, and a memoized fixpoint of that
+		// prefix for publish-time floors.
+		epochsLeft             = 0
+		quietEdges, quietInits = 0, 0
+		floorEdges, floorInits = -1, -1
+		floorOracle            map[graph.VertexID]uint64
 	)
+	if cfg.Serve {
+		epochsLeft = 4
+	}
 
 	enumerate := func() []action {
 		acts = acts[:0]
@@ -228,6 +256,9 @@ func Run(cfg Config) Result {
 		}
 		if snapsLeft > 0 && curSnap == nil {
 			acts = append(acts, action{kind: actSnap})
+		}
+		if epochsLeft > 0 {
+			acts = append(acts, action{kind: actServeEpoch})
 		}
 		if paused {
 			acts = append(acts, action{kind: actResume})
@@ -257,13 +288,23 @@ func Run(cfg Config) Result {
 			if d.SnapshotChoresPending(r) {
 				acts = append(acts, action{kind: actChores, rank: r})
 			}
+			if d.ServePublishDue(r) {
+				acts = append(acts, action{kind: actServePub, rank: r})
+			}
 		}
 		return acts
 	}
 
-	// Upper bound for snapshot checks: the fully-converged state over the
-	// whole stream and every init the run will issue.
+	// Upper bound for snapshot and serve checks: the fully-converged state
+	// over the whole stream and every init the run will issue.
 	var fullOracle map[graph.VertexID]uint64
+	if cfg.Serve {
+		if !d.ServeEnabled() {
+			chk.violatef("serve: Options.Serve set but the driver reports the plane disabled")
+		}
+		fullOracle = sp.oracle(w, w.edges, sp.inits(w))
+		chk.fullOracle = fullOracle
+	}
 	stepLimit := 1000*len(w.edges) + 10000
 	for {
 		if curSnap != nil && curSnap.Ready() {
@@ -324,11 +365,37 @@ func Run(cfg Config) Result {
 			if checkpointRoundTrip(chk, "paused", e, sp, w, uint64(len(ingested))) {
 				res.CheckpointsChecked++
 			}
+		case actServeEpoch:
+			epochsLeft--
+			d.ServeAdvance()
+		case actServePub:
+			// The published segment is the rank's live values, which
+			// monotonically subsume the fixpoint of the last quiescent
+			// prefix — record that fixpoint as the rank's serving floor.
+			// (Sound for restamps too: a restamp means the rank processed
+			// nothing since its last publish, so segment == live values.)
+			d.ServePublish(act.rank)
+			if quietEdges != floorEdges || quietInits != floorInits {
+				floorEdges, floorInits = quietEdges, quietInits
+				floorOracle = sp.oracle(w, ingested[:floorEdges], initsDone[:floorInits])
+			}
+			chk.serveFloor[act.rank] = floorOracle
+			res.ServePublishes++
 		}
 		chk.afterStep()
 		if srng.Intn(16) == 0 {
 			v := graph.VertexID(srng.Intn(span))
 			chk.observeQuery(v, e.QueryLocal(0, v))
+		}
+		if cfg.Serve {
+			if d.Idle() {
+				quietEdges, quietInits = len(ingested), len(initsDone)
+			}
+			if srng.Intn(8) == 0 {
+				v := graph.VertexID(srng.Intn(span))
+				val, epoch := e.ReadPoint(0, v)
+				chk.observeServe(v, val, epoch)
+			}
 		}
 	}
 
@@ -344,6 +411,30 @@ func Run(cfg Config) Result {
 	final := e.CollectMap(0)
 	compareStates(chk, "final", final, sp.oracle(w, ingested, initsDone), sp.omitZero)
 	chk.finalChecks(final)
+	if cfg.Serve {
+		// A forced publish at termination (what the concurrent engine's
+		// exit() does) must make the read plane agree with Collect exactly
+		// — no staleness left once ingestion has quiesced for good.
+		for r := 0; r < cfg.Ranks; r++ {
+			d.ServePublish(r)
+			res.ServePublishes++
+		}
+		servedFinal := make(map[graph.VertexID]uint64, len(final))
+		for v := range final {
+			if val, epoch := e.ReadPoint(0, v); val.Found {
+				servedFinal[v] = val.Val
+				if epoch == 0 {
+					chk.violatef("serve-final: vertex %d served at epoch 0 after the final publish", v)
+				}
+			}
+		}
+		compareStates(chk, "serve-final", servedFinal, final, false)
+		phantom := graph.VertexID(span) + 1000
+		if val, _ := e.ReadPoint(0, phantom); val.Found {
+			chk.violatef("serve-final: never-created vertex %d is served as found", phantom)
+		}
+		res.ServeReads = chk.serveReads
+	}
 	res.Lineages = e.Lineages()
 	for i := range res.Lineages {
 		res.Lineages[i].Latency = 0

@@ -14,7 +14,7 @@ import (
 func TestSimSmoke(t *testing.T) {
 	for a := Algo(0); a < numAlgos; a++ {
 		for _, noCoal := range []bool{false, true} {
-			cfg := Config{Algo: a, GraphSeed: 11, ScheduleSeed: 17, Ranks: 3, NoCoalesce: noCoal}
+			cfg := Config{Algo: a, GraphSeed: 11, ScheduleSeed: 17, Ranks: 3, NoCoalesce: noCoal, Serve: true}
 			res := Run(cfg)
 			if res.Failed() {
 				t.Errorf("%s coalesce=%v: %d violations, first: %s",
@@ -28,6 +28,10 @@ func TestSimSmoke(t *testing.T) {
 			}
 			if res.CheckpointsChecked == 0 {
 				t.Errorf("%s coalesce=%v: run checked no checkpoints", a, !noCoal)
+			}
+			if res.ServeReads == 0 || res.ServePublishes == 0 {
+				t.Errorf("%s coalesce=%v: serve checking was vacuous (%d reads, %d publishes)",
+					a, !noCoal, res.ServeReads, res.ServePublishes)
 			}
 		}
 	}
@@ -182,14 +186,18 @@ func TestMutationCombineCaught(t *testing.T) {
 
 // TestParseReplayRoundTrip pins the artifact line format.
 func TestParseReplayRoundTrip(t *testing.T) {
-	f := SweepFailure{Cfg: Config{Algo: Widest, GraphSeed: 3, ScheduleSeed: 7, Ranks: 4, NoCoalesce: true}}
+	f := SweepFailure{Cfg: Config{Algo: Widest, GraphSeed: 3, ScheduleSeed: 7, Ranks: 4, NoCoalesce: true, Serve: true}}
 	line := f.Repro()
 	cfg, err := ParseReplay(line)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Algo != Widest || cfg.GraphSeed != 3 || cfg.ScheduleSeed != 7 || cfg.Ranks != 4 || !cfg.NoCoalesce {
+	if cfg.Algo != Widest || cfg.GraphSeed != 3 || cfg.ScheduleSeed != 7 || cfg.Ranks != 4 || !cfg.NoCoalesce || !cfg.Serve {
 		t.Fatalf("round trip lost fields: %q → %+v", line, cfg)
+	}
+	// Pre-serve seed lines (no serve= field) must stay parseable.
+	if old, err := ParseReplay("algo=bfs,graph=1,sched=2,ranks=2,coalesce=on"); err != nil || old.Serve {
+		t.Fatalf("legacy line: (%+v, %v)", old, err)
 	}
 	if _, err := ParseReplay("algo=nope"); err == nil {
 		t.Error("bad algo accepted")

@@ -17,12 +17,15 @@ type SweepFailure struct {
 // (and by the SIM_REPLAY environment variable of TestSimReplay) — the
 // line to copy out of a CI failing-seeds artifact.
 func (f SweepFailure) Repro() string {
-	coal := "on"
+	coal, srv := "on", "off"
 	if f.Cfg.NoCoalesce {
 		coal = "off"
 	}
-	return fmt.Sprintf("algo=%s,graph=%d,sched=%d,ranks=%d,coalesce=%s",
-		f.Cfg.Algo, f.Cfg.GraphSeed, f.Cfg.ScheduleSeed, f.Cfg.Ranks, coal)
+	if f.Cfg.Serve {
+		srv = "on"
+	}
+	return fmt.Sprintf("algo=%s,graph=%d,sched=%d,ranks=%d,coalesce=%s,serve=%s",
+		f.Cfg.Algo, f.Cfg.GraphSeed, f.Cfg.ScheduleSeed, f.Cfg.Ranks, coal, srv)
 }
 
 // String summarizes the failure: the replay line plus the first
@@ -81,6 +84,15 @@ func ParseReplay(s string) (Config, error) {
 			default:
 				return Config{}, fmt.Errorf("sim: bad coalesce %q (want on/off)", v)
 			}
+		case "serve":
+			switch v {
+			case "on":
+				cfg.Serve = true
+			case "off":
+				cfg.Serve = false
+			default:
+				return Config{}, fmt.Errorf("sim: bad serve %q (want on/off)", v)
+			}
 		default:
 			return Config{}, fmt.Errorf("sim: unknown replay key %q", k)
 		}
@@ -89,8 +101,11 @@ func ParseReplay(s string) (Config, error) {
 }
 
 // Sweep runs seeds × all algorithms × coalescing on/off, rotating the
-// rank count with the seed, and returns every failing run. progress (if
-// non-nil) is called after each run with (done, total).
+// rank count with the seed, and returns every failing run. Every run
+// serves the MVCC read plane, so the sweep validates lock-free reads
+// against the static oracle across the full algorithm × coalescing
+// matrix. progress (if non-nil) is called after each run with
+// (done, total).
 func Sweep(seeds int, progress func(done, total int)) []SweepFailure {
 	var failures []SweepFailure
 	total := seeds * int(numAlgos) * 2
@@ -104,6 +119,7 @@ func Sweep(seeds int, progress func(done, total int)) []SweepFailure {
 					ScheduleSeed: int64(seed)*7919 + int64(a)*31 + 1,
 					Ranks:        1 + seed%4,
 					NoCoalesce:   noCoal,
+					Serve:        true,
 				}
 				if res := Run(cfg); res.Failed() {
 					failures = append(failures, SweepFailure{Cfg: cfg, Result: res})

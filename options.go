@@ -1,5 +1,7 @@
 package incregraph
 
+import "time"
+
 // Option is a functional option for NewGraph — the chainable equivalent of
 // filling a Config struct, which keeps working unchanged.
 //
@@ -82,6 +84,19 @@ func NewGraph(programs []Program, opts ...Option) *Graph {
 // an ablation/debugging knob.
 func WithoutCoalescing() Option {
 	return func(c *Config) { c.NoCoalesce = true }
+}
+
+// WithServe enables the MVCC read plane (see Config.Serve): lock-free
+// ReadPoint/ReadBatch/ReadTopK/ReadNeighborhood over epoch-stamped
+// published segments while ingestion never pauses.
+func WithServe() Option {
+	return func(c *Config) { c.Serve = true }
+}
+
+// WithServeEvery sets the read plane's epoch cadence (default 50ms) and
+// implies WithServe.
+func WithServeEvery(d time.Duration) Option {
+	return func(c *Config) { c.Serve = true; c.ServeEvery = d }
 }
 
 // WithCluster spans the graph across multiple OS processes (see

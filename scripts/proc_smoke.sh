@@ -1,21 +1,29 @@
 #!/bin/sh
-# Two-OS-process loopback smoke for the TCP transport: run cmd/ingest as a
-# real 2-process cluster (2 ranks each) on a deterministic RMAT dataset,
-# merge the two processes' -dump shards, and diff the union against a
-# single-process 4-rank run of the same dataset (which also -verify's
-# itself against the static oracle). Any divergence — a lost event, a
-# premature termination, a mis-sharded vertex — shows up as a diff.
+# Multi-OS-process loopback smoke for the TCP transport: run cmd/ingest as
+# a real PROCS-process cluster (2 ranks each) on a deterministic RMAT
+# dataset, merge the processes' -dump shards, and diff the union against a
+# single-process run of the same dataset with the same global rank count
+# (which also -verify's itself against the static oracle). Any divergence —
+# a lost event, a premature termination, a mis-sharded vertex — shows up as
+# a diff.
 #
 # Environment:
+#   PROCS  cluster size in OS processes (default 2)
 #   SCALE  rmat scale (default 10)
 #   ALGO   live algorithm (default bfs)
-#   PORT   coordinator listen port (default 7071)
+#   PORT   base listen port; process i listens on PORT+i (default 7071)
 set -eu
 
+PROCS="${PROCS:-2}"
 SCALE="${SCALE:-10}"
 ALGO="${ALGO:-bfs}"
 PORT="${PORT:-7071}"
 GO="${GO:-go}"
+
+if [ "$PROCS" -lt 2 ]; then
+	echo "proc-smoke: PROCS must be >= 2 (got $PROCS)" >&2
+	exit 2
+fi
 
 cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
@@ -24,29 +32,43 @@ trap 'rm -rf "$tmp"' EXIT
 echo "proc-smoke: building cmd/ingest"
 "$GO" build -o "$tmp/ingest" ./cmd/ingest
 
-echo "proc-smoke: 2-process cluster run (rmat $SCALE, $ALGO, 2x2 ranks, 127.0.0.1:$PORT)"
-"$tmp/ingest" -rmat "$SCALE" -ranks 2 -procs 2 -rank-id 0 \
-	-listen "127.0.0.1:$PORT" -algo "$ALGO" -dump "$tmp/shard0.txt" \
-	>"$tmp/p0.log" 2>&1 &
-p0=$!
-"$tmp/ingest" -rmat "$SCALE" -ranks 2 -procs 2 -rank-id 1 \
-	-join "127.0.0.1:$PORT" -algo "$ALGO" -dump "$tmp/shard1.txt" \
-	>"$tmp/p1.log" 2>&1 &
-p1=$!
+echo "proc-smoke: $PROCS-process cluster run (rmat $SCALE, $ALGO, ${PROCS}x2 ranks, 127.0.0.1:$PORT+)"
+# Process 0 coordinates on PORT. Every other process joins it; all but the
+# last also listen (on PORT+i) so higher-numbered processes can complete
+# the mesh by dialing them from the coordinator's roster.
+pids=""
+i=0
+while [ "$i" -lt "$PROCS" ]; do
+	set -- -rmat "$SCALE" -ranks 2 -procs "$PROCS" -rank-id "$i" \
+		-algo "$ALGO" -dump "$tmp/shard$i.txt"
+	if [ "$i" -lt $((PROCS - 1)) ]; then
+		set -- "$@" -listen "127.0.0.1:$((PORT + i))"
+	fi
+	if [ "$i" -gt 0 ]; then
+		set -- "$@" -join "127.0.0.1:$PORT"
+	fi
+	"$tmp/ingest" "$@" >"$tmp/p$i.log" 2>&1 &
+	pids="$pids $!"
+	i=$((i + 1))
+done
 
 fail=0
-wait "$p0" || fail=1
-wait "$p1" || fail=1
+for pid in $pids; do
+	wait "$pid" || fail=1
+done
 if [ "$fail" -ne 0 ]; then
 	echo "proc-smoke: a cluster process failed" >&2
-	sed 's/^/  p0: /' "$tmp/p0.log" >&2
-	sed 's/^/  p1: /' "$tmp/p1.log" >&2
+	i=0
+	while [ "$i" -lt "$PROCS" ]; do
+		sed "s/^/  p$i: /" "$tmp/p$i.log" >&2
+		i=$((i + 1))
+	done
 	exit 1
 fi
-grep '^transport:' "$tmp/p0.log" "$tmp/p1.log" | sed 's/^/  /'
+grep '^transport:' "$tmp"/p*.log | sed 's/^/  /'
 
-echo "proc-smoke: single-process reference run (+static -verify)"
-"$tmp/ingest" -rmat "$SCALE" -ranks 4 -algo "$ALGO" -verify \
+echo "proc-smoke: single-process reference run (+static -verify, $((PROCS * 2)) ranks)"
+"$tmp/ingest" -rmat "$SCALE" -ranks $((PROCS * 2)) -algo "$ALGO" -verify \
 	-dump "$tmp/ref.txt" >"$tmp/ref.log" 2>&1 || {
 	echo "proc-smoke: reference run failed" >&2
 	sed 's/^/  ref: /' "$tmp/ref.log" >&2
@@ -54,11 +76,11 @@ echo "proc-smoke: single-process reference run (+static -verify)"
 }
 grep '^verify:' "$tmp/ref.log" | sed 's/^/  /'
 
-sort -n "$tmp/shard0.txt" "$tmp/shard1.txt" >"$tmp/merged.txt"
+sort -n "$tmp"/shard*.txt >"$tmp/merged.txt"
 sort -n "$tmp/ref.txt" >"$tmp/ref-sorted.txt"
 if ! diff -u "$tmp/ref-sorted.txt" "$tmp/merged.txt" >"$tmp/diff.txt"; then
 	echo "proc-smoke: FAIL — merged cluster shards diverge from the single-process run:" >&2
 	head -40 "$tmp/diff.txt" >&2
 	exit 1
 fi
-echo "proc-smoke: OK — $(wc -l <"$tmp/merged.txt" | tr -d ' ') vertices identical across 2-process and 1-process runs"
+echo "proc-smoke: OK — $(wc -l <"$tmp/merged.txt" | tr -d ' ') vertices identical across $PROCS-process and 1-process runs"

@@ -1,0 +1,83 @@
+#!/bin/sh
+# Mixed-workload smoke for the MVCC query-serving plane: run cmd/ingest
+# with -serve on a deterministic RMAT dataset and drive the /query API from
+# scripts/querysmoke in two phases.
+#
+#   Phase A (live): while ingestion is running, concurrent workers issue
+#     mixed-verb batched requests; any non-200 answer or a per-worker epoch
+#     moving backwards fails the smoke. Reads never pause ingestion — the
+#     run itself converging under fire is part of the check.
+#   Phase B (diff): after convergence the process writes its -dump and
+#     lingers; every dumped vertex is re-read through /query and compared
+#     exactly (the rank exit path publishes the converged state
+#     unconditionally, so this diff has no tolerance), plus a phantom probe
+#     for ids the run never created.
+#
+# Environment:
+#   SCALE   rmat scale (default 13 — big enough that phase A overlaps
+#           genuine ingestion on a fast runner)
+#   ALGO    live algorithm (default cc)
+#   PORT    -debug.addr port (default 7091)
+#   LIVEFOR phase A duration (default 2s)
+#   LINGER  how long the server outlives the run (default 30s; phases A+B
+#           must finish inside it)
+set -eu
+
+SCALE="${SCALE:-13}"
+ALGO="${ALGO:-cc}"
+PORT="${PORT:-7091}"
+LIVEFOR="${LIVEFOR:-2s}"
+LINGER="${LINGER:-30s}"
+GO="${GO:-go}"
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true' EXIT
+
+echo "query-smoke: building cmd/ingest and scripts/querysmoke"
+"$GO" build -o "$tmp/ingest" ./cmd/ingest
+"$GO" build -o "$tmp/querysmoke" ./scripts/querysmoke
+
+echo "query-smoke: server: rmat $SCALE, $ALGO, -serve, http://127.0.0.1:$PORT"
+"$tmp/ingest" -rmat "$SCALE" -ranks 4 -algo "$ALGO" \
+	-serve -serve.every 5ms -debug.addr "127.0.0.1:$PORT" \
+	-dump "$tmp/dump.txt" -linger "$LINGER" >"$tmp/server.log" 2>&1 &
+srv=$!
+
+echo "query-smoke: phase A — mixed-verb hammer during ingestion ($LIVEFOR)"
+"$tmp/querysmoke" -mode live -addr "127.0.0.1:$PORT" -for "$LIVEFOR" \
+	-workers 4 -idspace $((1 << SCALE)) || {
+	echo "query-smoke: FAIL in phase A; server log:" >&2
+	sed 's/^/  srv: /' "$tmp/server.log" >&2
+	exit 1
+}
+
+# Wait for convergence + dump: the server prints "linger:" after the run
+# and the -dump file are complete.
+i=0
+until grep -q '^linger:' "$tmp/server.log"; do
+	if ! kill -0 "$srv" 2>/dev/null; then
+		echo "query-smoke: FAIL — server exited before linger; log:" >&2
+		sed 's/^/  srv: /' "$tmp/server.log" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+	if [ "$i" -gt 600 ]; then
+		echo "query-smoke: FAIL — run did not converge within 60s" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+echo "query-smoke: phase B — exact diff of /query vs converged dump"
+"$tmp/querysmoke" -mode diff -addr "127.0.0.1:$PORT" -dump "$tmp/dump.txt" || {
+	echo "query-smoke: FAIL in phase B; server log:" >&2
+	sed 's/^/  srv: /' "$tmp/server.log" >&2
+	exit 1
+}
+
+kill "$srv" 2>/dev/null || true
+wait "$srv" 2>/dev/null || true
+srv=""
+grep -E '^(serve|ingested|rate):' "$tmp/server.log" | sed 's/^/  srv: /'
+echo "query-smoke: OK"

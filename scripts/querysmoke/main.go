@@ -1,0 +1,297 @@
+// Command querysmoke is the client half of scripts/query_smoke.sh: it
+// hammers a live cmd/ingest /query endpoint and checks the two properties
+// the MVCC read plane promises its users.
+//
+// Mode "live" (during ingestion): concurrent workers issue mixed-verb
+// batched requests and assert per-worker epoch monotonicity — the plane
+// may serve stale state, but a client that saw epoch E must never be
+// answered from an older one.
+//
+// Mode "diff" (after quiescence): every vertex in the converged -dump file
+// is re-read through /query in large batches and compared exactly — after
+// the final unconditional publish, the read plane must serve precisely the
+// state Collect wrote to disk, and vertices the run never touched must
+// come back found=false.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+type queryVerb struct {
+	Op       string   `json:"op"`
+	Vertex   uint64   `json:"vertex,omitempty"`
+	Vertices []uint64 `json:"vertices,omitempty"`
+	K        int      `json:"k,omitempty"`
+	Dir      string   `json:"dir,omitempty"`
+	Depth    int      `json:"depth,omitempty"`
+	Limit    int      `json:"limit,omitempty"`
+}
+
+type queryRequest struct {
+	Algo    int         `json:"algo"`
+	Queries []queryVerb `json:"queries"`
+}
+
+type queryValue struct {
+	Vertex uint64 `json:"vertex"`
+	Value  uint64 `json:"value"`
+	Found  bool   `json:"found"`
+	Depth  int    `json:"depth,omitempty"`
+}
+
+type queryResult struct {
+	Op     string       `json:"op"`
+	Epoch  uint64       `json:"epoch"`
+	Values []queryValue `json:"values"`
+}
+
+type queryResponse struct {
+	Epoch   uint64        `json:"epoch"`
+	Results []queryResult `json:"results"`
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:6060", "cmd/ingest -debug.addr to query")
+		mode    = flag.String("mode", "live", "live (concurrent mixed-verb hammer) | diff (exact check against -dump)")
+		algo    = flag.Int("algo", 0, "program index to query")
+		workers = flag.Int("workers", 4, "live: concurrent query workers")
+		runFor  = flag.Duration("for", 2*time.Second, "live: how long to hammer")
+		dump    = flag.String("dump", "", "diff: the converged -dump file to compare against")
+		idSpace = flag.Uint64("idspace", 1<<14, "live: vertex ids are drawn from [0,idspace)")
+		wait    = flag.Duration("wait", 30*time.Second, "max time to wait for the endpoint to come up")
+	)
+	flag.Parse()
+	url := "http://" + *addr + "/query"
+
+	if err := waitUp(url, *algo, *wait); err != nil {
+		fatal(err)
+	}
+	var err error
+	switch *mode {
+	case "live":
+		err = liveMode(url, *algo, *workers, *runFor, *idSpace)
+	case "diff":
+		err = diffMode(url, *algo, *dump)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "querysmoke: FAIL:", err)
+	os.Exit(1)
+}
+
+// post sends one batched query and decodes the response; any non-200
+// status is an error (the smoke only sends well-formed requests).
+func post(url string, req queryRequest) (*queryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(httpResp.Body).Decode(&e) //nolint:errcheck // best-effort detail
+		return nil, fmt.Errorf("HTTP %d: %s", httpResp.StatusCode, e.Error)
+	}
+	var resp queryResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("bad response body: %w", err)
+	}
+	return &resp, nil
+}
+
+// waitUp polls until /query answers a trivial point read (the ingest
+// process may still be loading its dataset when the smoke starts).
+func waitUp(url string, algo int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	probe := queryRequest{Algo: algo, Queries: []queryVerb{{Op: "point", Vertex: 0}}}
+	for {
+		if _, err := post(url, probe); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("endpoint %s not up after %s: %v", url, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// liveMode hammers the endpoint with mixed verbs from concurrent workers
+// while ingestion runs, checking per-worker epoch monotonicity.
+func liveMode(url string, algo, workers int, runFor time.Duration, idSpace uint64) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		requests int
+		found    int
+	)
+	stopAt := time.Now().Add(runFor)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lastEpoch := uint64(0)
+			n, hits := 0, 0
+			for time.Now().Before(stopAt) {
+				batch := make([]uint64, 32)
+				for i := range batch {
+					batch[i] = rng.Uint64() % idSpace
+				}
+				req := queryRequest{Algo: algo, Queries: []queryVerb{
+					{Op: "point", Vertex: rng.Uint64() % idSpace},
+					{Op: "batch", Vertices: batch},
+					{Op: "topk", K: 5},
+					{Op: "neighborhood", Vertex: rng.Uint64() % idSpace, Depth: 2, Limit: 100},
+				}}
+				resp, err := post(url, req)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %d: %w", seed, err)
+					}
+					mu.Unlock()
+					return
+				}
+				// The plane never moves a reader backwards in time: the
+				// response-level epoch (min over touched owners) must be
+				// monotone for a single client.
+				if resp.Epoch < lastEpoch {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %d: epoch went backwards: %d after %d",
+							seed, resp.Epoch, lastEpoch)
+					}
+					mu.Unlock()
+					return
+				}
+				lastEpoch = resp.Epoch
+				n++
+				for _, r := range resp.Results {
+					for _, v := range r.Values {
+						if v.Found {
+							hits++
+						}
+					}
+				}
+			}
+			mu.Lock()
+			requests += n
+			found += hits
+			mu.Unlock()
+		}(int64(w))
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if requests == 0 {
+		return fmt.Errorf("no requests completed in %s", runFor)
+	}
+	fmt.Printf("querysmoke: live OK — %d workers, %d mixed-verb requests, %d values served\n",
+		workers, requests, found)
+	return nil
+}
+
+// diffMode replays the converged dump through /query and demands exact
+// equality, plus found=false for ids beyond the dump.
+func diffMode(url string, algo int, dumpPath string) error {
+	if dumpPath == "" {
+		return fmt.Errorf("-mode diff requires -dump FILE")
+	}
+	f, err := os.Open(dumpPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	want := map[uint64]uint64{}
+	var ids []uint64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var v, val uint64
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &v, &val); err != nil {
+			return fmt.Errorf("bad dump line %q: %w", sc.Text(), err)
+		}
+		want[v] = val
+		ids = append(ids, v)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("dump %s is empty", dumpPath)
+	}
+
+	const chunk = 4096 // cmd/ingest's per-batch vertex cap
+	checked := 0
+	for off := 0; off < len(ids); off += chunk {
+		end := off + chunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		resp, err := post(url, queryRequest{Algo: algo, Queries: []queryVerb{
+			{Op: "batch", Vertices: ids[off:end]},
+		}})
+		if err != nil {
+			return err
+		}
+		if len(resp.Results) != 1 {
+			return fmt.Errorf("want 1 result, got %d", len(resp.Results))
+		}
+		for _, v := range resp.Results[0].Values {
+			if !v.Found {
+				return fmt.Errorf("vertex %d: in dump (value %d) but served found=false", v.Vertex, want[v.Vertex])
+			}
+			if v.Value != want[v.Vertex] {
+				return fmt.Errorf("vertex %d: dump has %d, /query served %d", v.Vertex, want[v.Vertex], v.Value)
+			}
+			checked++
+		}
+	}
+	if checked != len(ids) {
+		return fmt.Errorf("dump has %d vertices but /query answered %d", len(ids), checked)
+	}
+
+	// Phantom check: ids past every dumped vertex must not be served.
+	maxID := uint64(0)
+	for _, v := range ids {
+		if v > maxID {
+			maxID = v
+		}
+	}
+	ghost := []uint64{maxID + 1, maxID + 999, maxID + 123456}
+	resp, err := post(url, queryRequest{Algo: algo, Queries: []queryVerb{{Op: "batch", Vertices: ghost}}})
+	if err != nil {
+		return err
+	}
+	for _, v := range resp.Results[0].Values {
+		if v.Found {
+			return fmt.Errorf("phantom vertex %d served found=true (value %d)", v.Vertex, v.Value)
+		}
+	}
+	fmt.Printf("querysmoke: diff OK — %d vertices identical between /query and %s, %d phantoms absent\n",
+		checked, dumpPath, len(ghost))
+	return nil
+}
