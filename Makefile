@@ -69,7 +69,7 @@ bench:
 # (median) while the bench-check gate measures best effort (best-of-3),
 # so the gate's ratio centers above 1.0 with the tolerance as real margin.
 bench-json:
-	$(GO) run ./cmd/paperbench bench -quick -repeat 3 -agg median -json BENCH_PR5.json
+	$(GO) run ./cmd/paperbench bench -quick -repeat 3 -agg median -json BENCH_PR8.json
 
 # Bench-regression gate: regenerate the quick sweep (best-of-3) into a
 # scratch file and fail on any cell regressing more than BENCH_TOL against
@@ -79,7 +79,7 @@ bench-json:
 BENCH_TOL ?= 0.15
 bench-check:
 	$(GO) run ./cmd/paperbench bench -quick -repeat 3 -json bench-current.json
-	$(GO) run ./cmd/paperbench benchcmp -baseline BENCH_PR5.json \
+	$(GO) run ./cmd/paperbench benchcmp -baseline BENCH_PR8.json \
 		-current bench-current.json -tol $(BENCH_TOL) -min-lookups 1000000
 
 # Telemetry-pipeline smoke: the exposition golden/lint tests plus the

@@ -121,6 +121,14 @@ func writeStatsSummary(w http.ResponseWriter, s incregraph.EngineStats) {
 	fmt.Fprintf(w, "service:   %s queries, %d snapshots, parked %s\n",
 		metrics.HumanCount(s.QueriesServed), s.SnapshotsTaken,
 		s.ParkedTime.Round(time.Millisecond))
+	if st := s.Storage; st.Hybrid {
+		fmt.Fprintf(w, "storage:   hybrid, %s compactions, %s segment edges, delta hit rate %.2f (%s clones)\n",
+			metrics.HumanCount(st.Compactions), metrics.HumanCount(st.SegmentEdges),
+			st.DeltaHitRate(), metrics.HumanCount(st.SegClones))
+	}
+	if s.AutoTune {
+		fmt.Fprintf(w, "autotune:  on, %s adjustments\n", metrics.HumanCount(s.TuneAdjusts))
+	}
 	if sv := s.Serve; sv.Enabled {
 		fmt.Fprintf(w, "serve:     epoch %d (published %d), %s publishes (%s restamps)\n",
 			sv.Epoch, sv.PublishedEpoch,

@@ -70,6 +70,8 @@ func main() {
 		dump    = flag.String("dump", "", "after convergence, write this process's algorithm shard as 'vertex value' lines to FILE (- for stdout)")
 		srvOn   = flag.Bool("serve", false, "enable the MVCC read plane and the batched JSON /query API on -debug.addr")
 		srvEvry = flag.Duration("serve.every", 0, "read-plane epoch cadence (0 = engine default 50ms; implies -serve)")
+		noHyb   = flag.Bool("no-hybrid", false, "disable the hybrid CSR-delta storage tier (A/B ablation)")
+		tune    = flag.Bool("autotune", false, "enable the per-rank auto-tune controller (batch size + compaction threshold)")
 		linger  = flag.Duration("linger", 0, "after the run (and -dump) completes, keep the process and its -debug.addr endpoints alive this long before exiting")
 	)
 	flag.Parse()
@@ -115,6 +117,8 @@ func main() {
 		SampleEvery: *sample,
 		Serve:       *srvOn || *srvEvry > 0,
 		ServeEvery:  *srvEvry,
+		NoHybrid:    *noHyb,
+		AutoTune:    *tune,
 	}
 	if cluster {
 		cfg.Cluster = &incregraph.ClusterConfig{

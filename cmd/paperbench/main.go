@@ -8,7 +8,7 @@
 //	paperbench all
 //	paperbench fig5 -scale 15 -ranks 1,2,4,8
 //	paperbench fig7 -quick
-//	paperbench bench -quick -json BENCH_PR5.json
+//	paperbench bench -quick -json BENCH_PR8.json
 //
 // Absolute rates will not match the authors' 3,072-core Catalyst cluster;
 // the reproduction target is the shape of each comparison, which every
@@ -37,6 +37,9 @@ var experiments = map[string]func(harness.Config) *harness.Table{
 	"batching":  harness.Batching,
 	"latency":   harness.Latency,
 	"counters":  harness.Counters,
+	// Not in `all`: the PR 8 storage scaling study runs at scale 20 and
+	// takes minutes. Invoke explicitly: paperbench scaling [-quick].
+	"scaling": harness.Scaling,
 }
 
 var order = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "batching", "latency", "counters"}
@@ -50,6 +53,8 @@ func main() {
 	jsonOut := fs.String("json", "", "bench only: write the machine-readable report to this file (default stdout)")
 	repeat := fs.Int("repeat", 1, "bench only: run every cell N times and keep the run -agg selects")
 	agg := fs.String("agg", "best", "bench only: which repeated run to record, best or median (baseline uses median, the bench-check gate best)")
+	noHybrid := fs.Bool("no-hybrid", false, "disable the hybrid CSR-delta storage tier (A/B ablation)")
+	autotune := fs.Bool("autotune", false, "enable the per-rank auto-tune controller (A/B ablation)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paperbench {all|bench|benchcmp|%s} [flags]\n", strings.Join(order, "|"))
 		fs.PrintDefaults()
@@ -67,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := harness.Config{Scale: *scale, EdgeFactor: *ef, Quick: *quickFlag}
+	cfg := harness.Config{Scale: *scale, EdgeFactor: *ef, Quick: *quickFlag, NoHybrid: *noHybrid, AutoTune: *autotune}
 	if *ranksFlag != "" {
 		for _, part := range strings.Split(*ranksFlag, ",") {
 			r, err := strconv.Atoi(strings.TrimSpace(part))
@@ -80,7 +85,7 @@ func main() {
 	}
 
 	// `bench` is the machine-readable counterpart of fig5: the same sweep,
-	// emitted as JSON (BENCH_PR5.json in CI) so the perf trajectory — event
+	// emitted as JSON (BENCH_PR8.json in CI) so the perf trajectory — event
 	// rates plus the self-delivery and coalescing counters — is diffable
 	// across PRs instead of locked in prose tables.
 	if which == "bench" {
@@ -129,7 +134,7 @@ func main() {
 // exact rules).
 func benchcmp(args []string) {
 	fs := flag.NewFlagSet("paperbench benchcmp", flag.ExitOnError)
-	baseline := fs.String("baseline", "BENCH_PR5.json", "committed baseline report")
+	baseline := fs.String("baseline", "BENCH_PR8.json", "committed baseline report")
 	current := fs.String("current", "", "freshly generated report to check (required)")
 	tol := fs.Float64("tol", 0.15, "allowed fractional throughput regression")
 	minLookups := fs.Float64("min-lookups", 0, "absolute lookups/sec floor for the mixed cell (0 = off)")

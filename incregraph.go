@@ -164,6 +164,20 @@ type Config struct {
 	// ServeEvery is the read plane's epoch cadence (default 50ms).
 	// Ignored unless Serve is set.
 	ServeEvery time.Duration
+	// NoHybrid disables the hybrid CSR-delta storage tier, leaving the
+	// pure dynamic adjacency. The hybrid tier — immutable per-vertex
+	// sorted segments compacted in the background from the mutable delta —
+	// is on by default; results are identical either way (differentially
+	// tested). Ablation knob.
+	NoHybrid bool
+	// CompactCap is the delta size that queues a vertex for background
+	// compaction (default 16). Ignored under NoHybrid.
+	CompactCap int
+	// AutoTune enables the per-rank feedback controller that watches the
+	// mailbox-residency and flush-interval histograms and adjusts the
+	// effective batch size and compaction threshold online. Off by
+	// default.
+	AutoTune bool
 	// Cluster, when non-nil, spans the graph across Cluster.Procs OS
 	// processes over TCP. Ranks then counts the ranks hosted by EACH
 	// process (the global rank space is Ranks × Procs), and this process
@@ -242,6 +256,9 @@ func coreOptions(cfg Config) core.Options {
 		LineageKeep:  cfg.LineageKeep,
 		Serve:        cfg.Serve,
 		ServeEvery:   cfg.ServeEvery,
+		NoHybrid:     cfg.NoHybrid,
+		CompactCap:   cfg.CompactCap,
+		AutoTune:     cfg.AutoTune,
 	}
 }
 
@@ -501,8 +518,11 @@ func (g *Graph) CheckpointMeta() CheckpointMeta { return g.eng.CheckpointMeta() 
 // Start: the run continues exactly where it paused.
 func LoadCheckpoint(r io.Reader, cfg Config, programs ...Program) (*Graph, error) {
 	eng, err := core.ReadCheckpoint(r, core.Options{
-		BatchSize: cfg.BatchSize,
-		SmallCap:  cfg.SmallCap,
+		BatchSize:  cfg.BatchSize,
+		SmallCap:   cfg.SmallCap,
+		NoHybrid:   cfg.NoHybrid,
+		CompactCap: cfg.CompactCap,
+		AutoTune:   cfg.AutoTune,
 	}, programs...)
 	if err != nil {
 		return nil, err

@@ -81,6 +81,21 @@ type Options struct {
 	// selects 50ms). Ignored unless Serve is set; sim-driven engines
 	// advance epochs via SimDriver.ServeAdvance instead of a ticker.
 	ServeEvery time.Duration
+	// NoHybrid disables the hybrid CSR-delta storage tier (see
+	// internal/graph/hybrid.go), leaving the pure RHH/small-slice dynamic
+	// store. The hybrid tier is on by default; converged results are
+	// identical either way (differentially tested). Ablation knob.
+	NoHybrid bool
+	// CompactCap is the delta size that queues a vertex for background
+	// compaction (0 selects graph.DefaultCompactCap). Ignored under
+	// NoHybrid.
+	CompactCap int
+	// AutoTune enables the per-rank feedback controller that reads the
+	// mailbox-residency and flush-interval histograms and adjusts the
+	// effective batch size and compaction threshold online (see tune.go).
+	// Off by default: the fixed BatchSize/CompactCap then apply verbatim.
+	// Implies histogram sampling stays enabled on the tuned ranks.
+	AutoTune bool
 }
 
 func (o Options) withDefaults() Options {

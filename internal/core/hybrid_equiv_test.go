@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/graph"
+	"incregraph/internal/rmat"
+	"incregraph/internal/stream"
+)
+
+// TestHybridEquivalenceProperty runs the same weighted R-MAT stream
+// through the concurrent engine with the hybrid storage tier on (default),
+// on with a tiny compaction threshold (compaction constantly interleaving
+// with cascades), on with auto-tune, and off — and demands identical
+// converged vertex states for BFS, SSSP, CC, and Multi S-T. The storage
+// tier and the controller are pure representation/scheduling changes; this
+// is the engine-level half of the differential property (the store-level
+// half is TestHybridEquivalenceQuick, the schedule-exploring half is the
+// sim sweep's actCompact).
+func TestHybridEquivalenceProperty(t *testing.T) {
+	edges := rmat.Generate(rmat.Config{Scale: 10, EdgeFactor: 8, Seed: 99, MaxWeight: 6})
+	src := edges[0].Src
+	sources := []graph.VertexID{edges[0].Src, edges[1].Src, edges[2].Dst, edges[3].Src}
+	names := []string{"bfs", "sssp", "cc", "st"}
+
+	run := func(opts core.Options) (maps [4]map[graph.VertexID]uint64, stats core.EngineStats) {
+		e := core.New(opts, algo.BFS{}, algo.SSSP{}, algo.CC{}, algo.NewMultiST(sources))
+		e.InitVertex(0, src)
+		e.InitVertex(1, src)
+		for _, s := range sources {
+			e.InitVertex(3, s)
+		}
+		if _, err := e.Run(stream.Split(edges, opts.Ranks)); err != nil {
+			t.Fatal(err)
+		}
+		for a := range maps {
+			maps[a] = e.CollectMap(a)
+		}
+		return maps, e.EngineStats()
+	}
+
+	for _, ranks := range []int{1, 3} {
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			base, baseStats := run(core.Options{Ranks: ranks, Undirected: true, NoHybrid: true})
+			if baseStats.Storage.Hybrid || baseStats.Storage.Compactions != 0 {
+				t.Fatalf("NoHybrid run reports hybrid storage: %+v", baseStats.Storage)
+			}
+			variants := []struct {
+				name string
+				opts core.Options
+			}{
+				{"hybrid", core.Options{Ranks: ranks, Undirected: true}},
+				{"hybrid-cap2", core.Options{Ranks: ranks, Undirected: true, CompactCap: 2}},
+				{"hybrid-autotune", core.Options{Ranks: ranks, Undirected: true, AutoTune: true}},
+			}
+			for _, vt := range variants {
+				got, st := run(vt.opts)
+				if !st.Storage.Hybrid {
+					t.Fatalf("%s: run reports hybrid tier off", vt.name)
+				}
+				if vt.name == "hybrid-cap2" && st.Storage.Compactions == 0 {
+					t.Fatalf("%s: no compactions ran — the equivalence check is vacuous", vt.name)
+				}
+				for a := range got {
+					if len(got[a]) != len(base[a]) {
+						t.Fatalf("%s %s: %d vertices, %d without hybrid",
+							vt.name, names[a], len(got[a]), len(base[a]))
+					}
+					for v, val := range got[a] {
+						if want, ok := base[a][v]; !ok || val != want {
+							t.Fatalf("%s %s: vertex %d = %d, want %d (ok=%v)",
+								vt.name, names[a], v, val, want, ok)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -95,6 +95,27 @@ func WithTransport(t Transport) Option {
 	return func(o *Options) { o.Transport = t }
 }
 
+// WithoutHybrid disables the hybrid CSR-delta storage tier, leaving the
+// pure RHH/small-slice dynamic store. Converged results are identical
+// either way (differentially tested); the knob exists for ablation.
+func WithoutHybrid() Option {
+	return func(o *Options) { o.NoHybrid = true }
+}
+
+// WithCompactCap sets the delta size that queues a vertex for background
+// compaction (0 selects the default of 16). Ignored under WithoutHybrid.
+func WithCompactCap(n int) Option {
+	return func(o *Options) { o.CompactCap = n }
+}
+
+// WithAutoTune enables the per-rank feedback controller: each rank reads
+// its own mailbox-residency and flush-interval histograms over a sliding
+// window and adjusts its effective batch size and compaction threshold
+// online. Off by default; an ablation knob like WithoutCoalescing.
+func WithAutoTune(on bool) Option {
+	return func(o *Options) { o.AutoTune = on }
+}
+
 // NewWith builds an engine from functional options; it is New with the
 // Options struct assembled from opts. Later options override earlier ones.
 func NewWith(programs []Program, opts ...Option) *Engine {

@@ -75,6 +75,15 @@ type rank struct {
 	drainLeft   int
 	lastFlushNS int64
 
+	// effBatch is the rank's effective outbound/pull batch size. It starts
+	// at Options.BatchSize and stays there unless AutoTune is on, in which
+	// case the tuner adjusts it between event batches (tune.go). Plain
+	// field: only this rank reads it on the hot path; the tuner mirrors it
+	// into counters.effBatch for cross-goroutine stats.
+	effBatch int
+	// tune is the rank's feedback controller (nil unless Options.AutoTune).
+	tune *tuner
+
 	// pub is this rank's single-writer handle onto the MVCC read plane
 	// (nil unless Options.Serve and the rank is local): mutation handlers
 	// mirror adjacency changes into it, and publishChores swaps in a fresh
@@ -106,6 +115,14 @@ func newRank(e *Engine, id int) *rank {
 		drainLeft:  1,
 	}
 	r.store.SetWeightPolicy(e.opts.WeightPolicy)
+	if !e.opts.NoHybrid {
+		r.store.EnableHybrid(e.opts.CompactCap)
+	}
+	r.effBatch = e.opts.BatchSize
+	r.counters.effBatch.Store(uint64(r.effBatch))
+	if e.opts.AutoTune {
+		r.tune = newTuner(r)
+	}
 	r.values = make([][]uint64, len(e.programs))
 	r.prevValues = make([][]uint64, len(e.programs))
 	return r
@@ -120,7 +137,11 @@ func (r *rank) loop() {
 	for {
 		r.snapshotChores()
 		r.drainQueries()
+		r.compactChores()
 		r.publishChores()
+		if r.tune != nil {
+			r.tune.maybeStep()
+		}
 
 		// IngestFirst pulls a topology event BEFORE draining the mailbox
 		// (eager ingestion, §V-C's tradeoff knob) but the mailbox is still
@@ -203,6 +224,37 @@ func (r *rank) exit() {
 	r.publishNow()
 }
 
+// compactBurst caps how many queued vertices a rank compacts per loop
+// iteration, keeping the chore's latency contribution bounded the way
+// drainQueries bounds query service.
+const compactBurst = 4
+
+// compactChores merges a few queued vertices' deltas into their immutable
+// segments (internal/graph/hybrid.go). Runs at event boundaries only, on
+// this rank's own shard — shared-nothing, zero locking, no ingestion
+// pause. Freshly compacted segments are handed to the serve plane by
+// reference.
+func (r *rank) compactChores() {
+	for i := 0; i < compactBurst; i++ {
+		if !r.compactOne() {
+			return
+		}
+	}
+}
+
+// compactOne pops and compacts one queued vertex, reporting whether the
+// queue held anything.
+func (r *rank) compactOne() bool {
+	slot, compacted, ok := r.store.CompactNext()
+	if !ok {
+		return false
+	}
+	if compacted && r.pub != nil {
+		r.pub.SegmentCompacted(slot, r.store.Segment(slot))
+	}
+	return true
+}
+
 // publishChores publishes a fresh serve-plane segment if an epoch boundary
 // passed since this rank's last publication. Called at event boundaries
 // only — the segment is always a consistent committed prefix.
@@ -253,7 +305,7 @@ func (r *rank) pullBurst() bool {
 	if !r.pullStream() {
 		return false
 	}
-	for n := 1; n < r.eng.opts.BatchSize && r.pullStream(); n++ {
+	for n := 1; n < r.effBatch && r.pullStream(); n++ {
 	}
 	return true
 }
@@ -375,7 +427,7 @@ func (r *rank) deliver(dest int, ev Event) int {
 		return len(r.self) - 1
 	}
 	r.out[dest] = append(r.out[dest], ev)
-	if len(r.out[dest]) >= r.eng.opts.BatchSize {
+	if len(r.out[dest]) >= r.effBatch {
 		r.flush(dest)
 		return -1
 	}

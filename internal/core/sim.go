@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"incregraph/internal/graph"
@@ -258,6 +259,52 @@ func (d *SimDriver) ServePublishDue(rank int) bool {
 // termination). Like every SimDriver step this stands in for work the
 // rank's own goroutine would do, at a legal event boundary.
 func (d *SimDriver) ServePublish(rank int) { d.e.ranks[rank].publishNow() }
+
+// CompactPending counts vertices queued for hybrid-tier compaction on
+// rank's shard. Zero when the hybrid tier is off.
+func (d *SimDriver) CompactPending(rank int) int {
+	return d.e.ranks[rank].store.PendingCompactions()
+}
+
+// CompactOne pops and compacts one queued vertex on rank's shard — the
+// scheduler-owned stand-in for the rank loop's compactChores — and
+// differentially checks the merge: the vertex's full (Nbr, W, Seq)
+// multiset must be bit-identical before and after, since compaction is a
+// pure representation change. Returns whether the queue held anything; a
+// non-nil error is a soundness violation.
+func (d *SimDriver) CompactOne(rank int) (bool, error) {
+	r := d.e.ranks[rank]
+	slot, queued := r.store.PeekCompact()
+	if !queued {
+		return false, nil
+	}
+	before := sortedAdj(r.store, slot)
+	popped, compacted, _ := r.store.CompactNext()
+	if popped != slot {
+		return true, fmt.Errorf("compact: peeked slot %d but popped %d", slot, popped)
+	}
+	if compacted && r.pub != nil {
+		r.pub.SegmentCompacted(slot, r.store.Segment(slot))
+	}
+	after := sortedAdj(r.store, slot)
+	if len(before) != len(after) {
+		return true, fmt.Errorf("compact rank %d slot %d: %d entries before, %d after",
+			rank, slot, len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			return true, fmt.Errorf("compact rank %d slot %d entry %d: %+v before, %+v after",
+				rank, slot, i, before[i], after[i])
+		}
+	}
+	return true, nil
+}
+
+func sortedAdj(s *graph.Store, slot graph.Slot) []graph.HalfEdge {
+	out := s.AdjEntries(slot)
+	sort.Slice(out, func(i, j int) bool { return out[i].Nbr < out[j].Nbr })
+	return out
+}
 
 // SetFlushHook installs an observer called with every outbound batch at
 // flush time, before it is pushed (and before any mutation hook corrupts

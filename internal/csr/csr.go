@@ -23,8 +23,17 @@ type Graph struct {
 
 // Build constructs a CSR graph from an edge list. If undirected is set,
 // each edge also contributes its reverse (the paper's "graphs are made
-// undirected with reverse edges where needed", Table I). The vertex space
-// is [0, maxID+1].
+// undirected with reverse edges where needed", Table I).
+//
+// Dense-ID contract: the vertex space is [0, maxID+1), so the offsets and
+// cursor arrays are allocated proportional to the LARGEST vertex ID seen,
+// not the number of distinct vertices. An edge list mentioning only
+// {0, 1<<20} still allocates ~1M offset slots, all the IDs in between
+// count as isolated degree-0 vertices, and ForEachVertex visits every one
+// of them. Callers with sparse or hashed ID spaces must remap to a dense
+// prefix first (the generators in internal/harness already emit dense
+// IDs). This mirrors the paper's static-baseline assumption that the
+// vertex set is known a priori.
 func Build(edges []graph.Edge, undirected bool) *Graph {
 	var maxID graph.VertexID
 	for _, e := range edges {

@@ -83,6 +83,38 @@ func TestMultiEdgesPreserved(t *testing.T) {
 	}
 }
 
+// TestBuildSparseIDs pins the dense-ID contract documented on Build: the
+// vertex space (and thus allocation) is proportional to maxID+1, not the
+// number of distinct endpoints, and every unmentioned ID in between is a
+// valid isolated vertex. If Build ever grows an ID-remapping layer this
+// test must change with the contract, deliberately.
+func TestBuildSparseIDs(t *testing.T) {
+	const far = graph.VertexID(1 << 20)
+	g := Build([]graph.Edge{{Src: 0, Dst: far, W: 9}}, false)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.NumVertices(), int(far)+1; got != want {
+		t.Fatalf("NumVertices = %d, want maxID+1 = %d", got, want)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(far) != 0 {
+		t.Fatalf("degrees: deg(0)=%d deg(far)=%d", g.Degree(0), g.Degree(far))
+	}
+	// A hole ID is a real, queryable, degree-0 vertex.
+	if g.Degree(far/2) != 0 {
+		t.Fatalf("hole vertex has degree %d", g.Degree(far/2))
+	}
+	if got := nbrsOf(g, 0); len(got) != 1 || got[0] != far {
+		t.Fatalf("nbrs(0) = %v", got)
+	}
+	if g.MaxVertexID() != far {
+		t.Fatalf("MaxVertexID = %d", g.MaxVertexID())
+	}
+}
+
 func TestForEachVertexEarlyStop(t *testing.T) {
 	g := Build(gen.Path(10), false)
 	count := 0

@@ -1,6 +1,10 @@
 package graph
 
-import "incregraph/internal/rhh"
+import (
+	"sync/atomic"
+
+	"incregraph/internal/rhh"
+)
 
 // DefaultSmallCap is the degree threshold at which a vertex's adjacency is
 // promoted from the compact inline slice to a Robin Hood hash table.
@@ -14,17 +18,44 @@ const DefaultSmallCap = 16
 func packWS(w Weight, seq uint32) uint64 { return uint64(seq)<<32 | uint64(w) }
 func unpackWS(p uint64) (Weight, uint32) { return Weight(p & 0xffffffff), uint32(p >> 32) }
 
-// adjacency is a degree-aware edge set for a single vertex.
+// adjacency is a degree-aware edge set for a single vertex. In hybrid mode
+// (see hybrid.go) the bulk of the edges live in seg — an immutable,
+// Nbr-sorted array compacted from the mutable tier — and small/large hold
+// only the delta that arrived since the last compaction. An edge lives in
+// exactly one tier: AddEdge checks seg first, so a segment-resident
+// neighbour is never re-inserted into the delta.
 type adjacency struct {
-	small []HalfEdge       // used while degree < smallCap
-	large *rhh.Map[uint64] // nbr -> packed (weight, seq); nil until promoted
+	seg   []HalfEdge       // immutable compacted segment, sorted by Nbr; nil until compacted
+	small []HalfEdge       // delta: used while delta degree < smallCap
+	large *rhh.Map[uint64] // delta: nbr -> packed (weight, seq); nil until promoted
 }
 
-func (a *adjacency) degree() int {
+func (a *adjacency) degree() int { return len(a.seg) + a.deltaLen() }
+
+// deltaLen is the mutable-tier entry count (the whole adjacency when the
+// store is not hybrid or the vertex was never compacted).
+func (a *adjacency) deltaLen() int {
 	if a.large != nil {
 		return a.large.Len()
 	}
 	return len(a.small)
+}
+
+// segFind returns the index of nbr in the Nbr-sorted segment, or -1.
+func segFind(seg []HalfEdge, nbr VertexID) int {
+	lo, hi := 0, len(seg)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seg[mid].Nbr < nbr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(seg) && seg[lo].Nbr == nbr {
+		return lo
+	}
+	return -1
 }
 
 // WeightPolicy decides how a re-inserted edge's weight merges with the
@@ -58,6 +89,33 @@ type Store struct {
 	policy   WeightPolicy
 
 	promotions uint64 // number of small->large promotions (instrumentation)
+
+	// Hybrid CSR-delta tier state (hybrid.go). pending/pendingBit form the
+	// compaction queue: slots whose delta crossed the threshold, FIFO with a
+	// bitmap de-duplicating entries; pendHead is the next queue index.
+	hybrid     bool
+	compactCap int
+	pending    []Slot
+	pendHead   int
+	pendingBit []uint64
+
+	// segShared marks slots whose segment array has been handed out by
+	// reference (Segment()); only those need copy-on-write on a weight or
+	// seq merge — private segments mutate in place, which matters under
+	// duplicate-heavy streams (R-MAT hubs) where a clone is O(degree).
+	// Deletes always clone: removal changes the array length, and the
+	// serve-plane aliasing contract requires len == cap at handoff.
+	segShared []uint64
+
+	// Hybrid instrumentation. The store is single-writer (rank-owned), but
+	// stats aggregation reads from arbitrary goroutines, so these are
+	// atomics — each costs one uncontended add, and the scan tallies are
+	// accumulated locally and added once per Neighbors call.
+	compactions atomic.Uint64 // completed delta->segment merges
+	segEdges    atomic.Uint64 // edges currently resident in segments (gauge)
+	segClones   atomic.Uint64 // copy-on-write segment clones (merge/delete)
+	segScans    atomic.Uint64 // adjacency entries iterated from segments
+	deltaScans  atomic.Uint64 // adjacency entries iterated from the delta tier
 }
 
 // NewStore returns an empty shard with the WeightMin policy.
@@ -149,6 +207,30 @@ func (s *Store) EnsureVertex(v VertexID) (Slot, bool) {
 func (s *Store) AddEdge(src, dst VertexID, w Weight, seq uint32) (srcSlot Slot, srcCreated, isNew bool) {
 	srcSlot, srcCreated = s.EnsureVertex(src)
 	a := &s.adj[srcSlot]
+	if i := segFind(a.seg, dst); i >= 0 {
+		// Segment-resident duplicate: merge the weight under the policy and
+		// lower the stored seq. If the segment array has been handed out by
+		// reference (serve-plane handoff at compaction) the change clones
+		// first — the same copy-on-write discipline serve.Publisher applies
+		// to its own mirror; a private segment mutates in place.
+		merged := s.mergeWeight(a.seg[i].W, w)
+		mseq := a.seg[i].Seq
+		if seq < mseq {
+			mseq = seq
+		}
+		if merged != a.seg[i].W || mseq != a.seg[i].Seq {
+			if s.segSharedBit(srcSlot) {
+				seg := make([]HalfEdge, len(a.seg))
+				copy(seg, a.seg)
+				a.seg = seg
+				s.segClones.Add(1)
+				s.clearSegShared(srcSlot)
+			}
+			a.seg[i].W = merged
+			a.seg[i].Seq = mseq
+		}
+		return srcSlot, srcCreated, false
+	}
 	if a.large != nil {
 		p, existed := a.large.GetOrPut(uint64(dst), packWS(w, seq))
 		if existed {
@@ -161,6 +243,7 @@ func (s *Store) AddEdge(src, dst VertexID, w Weight, seq uint32) (srcSlot Slot, 
 			return srcSlot, srcCreated, false
 		}
 		s.edges++
+		s.maybeQueueCompact(srcSlot, a)
 		return srcSlot, srcCreated, true
 	}
 	for i := range a.small {
@@ -173,7 +256,7 @@ func (s *Store) AddEdge(src, dst VertexID, w Weight, seq uint32) (srcSlot Slot, 
 		}
 	}
 	if len(a.small) >= s.smallCap {
-		// Promote to the Robin Hood representation.
+		// Promote the delta to the Robin Hood representation.
 		m := &rhh.Map[uint64]{}
 		m.Reserve(len(a.small) * 2)
 		for _, he := range a.small {
@@ -184,10 +267,12 @@ func (s *Store) AddEdge(src, dst VertexID, w Weight, seq uint32) (srcSlot Slot, 
 		a.large = m
 		s.promotions++
 		s.edges++
+		s.maybeQueueCompact(srcSlot, a)
 		return srcSlot, srcCreated, true
 	}
 	a.small = append(a.small, HalfEdge{Nbr: dst, W: w, Seq: seq})
 	s.edges++
+	s.maybeQueueCompact(srcSlot, a)
 	return srcSlot, srcCreated, true
 }
 
@@ -200,6 +285,24 @@ func (s *Store) DeleteEdge(src, dst VertexID) bool {
 		return false
 	}
 	a := &s.adj[srcSlot]
+	if i := segFind(a.seg, dst); i >= 0 {
+		// Copy-on-write removal: published references keep the old array.
+		// Always cloned, shared or not — removal changes the length, and
+		// the next handoff needs a fresh len == cap array anyway.
+		if len(a.seg) == 1 {
+			a.seg = nil
+		} else {
+			seg := make([]HalfEdge, 0, len(a.seg)-1)
+			seg = append(seg, a.seg[:i]...)
+			seg = append(seg, a.seg[i+1:]...)
+			a.seg = seg
+		}
+		s.segClones.Add(1)
+		s.segEdges.Add(^uint64(0))
+		s.clearSegShared(srcSlot)
+		s.edges--
+		return true
+	}
 	if a.large != nil {
 		if a.large.Delete(uint64(dst)) {
 			s.edges--
@@ -235,6 +338,9 @@ func (s *Store) HasEdge(src, dst VertexID) bool {
 // EdgeWeight returns the weight of the edge from the vertex at slot to nbr.
 func (s *Store) EdgeWeight(slot Slot, nbr VertexID) (Weight, bool) {
 	a := &s.adj[slot]
+	if i := segFind(a.seg, nbr); i >= 0 {
+		return a.seg[i].W, true
+	}
 	if a.large != nil {
 		p, ok := a.large.Get(uint64(nbr))
 		if !ok {
@@ -251,37 +357,73 @@ func (s *Store) EdgeWeight(slot Slot, nbr VertexID) (Weight, bool) {
 	return 0, false
 }
 
-// Neighbors calls fn for every out-neighbour of the vertex at slot.
-// Iteration stops early if fn returns false. fn must not mutate the store.
+// Neighbors calls fn for every out-neighbour of the vertex at slot: the
+// dense compacted segment first (sequential, prefetch-friendly), then the
+// delta tier. Iteration stops early if fn returns false. fn must not mutate
+// the store. The per-tier scan tallies behind the delta-hit-rate gauge are
+// accumulated locally and added once per call.
 func (s *Store) Neighbors(slot Slot, fn func(nbr VertexID, w Weight) bool) {
 	a := &s.adj[slot]
+	for i := range a.seg {
+		if !fn(a.seg[i].Nbr, a.seg[i].W) {
+			s.segScans.Add(uint64(i + 1))
+			return
+		}
+	}
+	if len(a.seg) > 0 {
+		s.segScans.Add(uint64(len(a.seg)))
+	}
 	if a.large != nil {
+		n := 0
 		a.large.Range(func(k uint64, p uint64) bool {
+			n++
 			w, _ := unpackWS(p)
 			return fn(VertexID(k), w)
 		})
+		s.deltaScans.Add(uint64(n))
 		return
 	}
 	for i := range a.small {
 		if !fn(a.small[i].Nbr, a.small[i].W) {
+			s.deltaScans.Add(uint64(i + 1))
 			return
 		}
+	}
+	if len(a.small) > 0 {
+		s.deltaScans.Add(uint64(len(a.small)))
 	}
 }
 
 // NeighborsBefore is Neighbors restricted to edges inserted before snapshot
 // sequence seq. Previous-version snapshot propagation uses it so that state
 // belonging to a snapshot never traverses edges added after the marker.
+// Compaction preserves each half-edge's Seq exactly, so the filter is
+// tier-independent.
 func (s *Store) NeighborsBefore(slot Slot, seq uint32, fn func(nbr VertexID, w Weight) bool) {
 	a := &s.adj[slot]
+	for i := range a.seg {
+		if a.seg[i].Seq >= seq {
+			continue
+		}
+		if !fn(a.seg[i].Nbr, a.seg[i].W) {
+			s.segScans.Add(uint64(i + 1))
+			return
+		}
+	}
+	if len(a.seg) > 0 {
+		s.segScans.Add(uint64(len(a.seg)))
+	}
 	if a.large != nil {
+		n := 0
 		a.large.Range(func(k uint64, p uint64) bool {
+			n++
 			w, eseq := unpackWS(p)
 			if eseq >= seq {
 				return true
 			}
 			return fn(VertexID(k), w)
 		})
+		s.deltaScans.Add(uint64(n))
 		return
 	}
 	for i := range a.small {
@@ -289,8 +431,12 @@ func (s *Store) NeighborsBefore(slot Slot, seq uint32, fn func(nbr VertexID, w W
 			continue
 		}
 		if !fn(a.small[i].Nbr, a.small[i].W) {
+			s.deltaScans.Add(uint64(i + 1))
 			return
 		}
+	}
+	if len(a.small) > 0 {
+		s.deltaScans.Add(uint64(len(a.small)))
 	}
 }
 

@@ -46,6 +46,14 @@ type BenchResult struct {
 	LookupsPerSec float64 `json:"lookups_per_sec,omitempty"`
 	QueryP50Nanos int64   `json:"query_p50_nanos,omitempty"`
 	QueryP99Nanos int64   `json:"query_p99_nanos,omitempty"`
+	// Hybrid storage tier (schema 4): background delta→segment merges,
+	// the fraction of adjacency-scan traffic still served by the mutable
+	// delta tier (lower = better locality), and heap bytes per stored edge
+	// (runtime.MemStats HeapAlloc delta across the run over final edge
+	// count — a coarse live-footprint gauge, GC-fenced on both sides).
+	Compactions  uint64  `json:"compactions,omitempty"`
+	DeltaHitRate float64 `json:"delta_hit_rate,omitempty"`
+	BytesPerEdge float64 `json:"bytes_per_edge,omitempty"`
 }
 
 // BenchReport is the machine-readable form of the Figure 5 sweep,
@@ -98,7 +106,7 @@ func BenchJSON(cfg Config, repeat int, agg Aggregate) *BenchReport {
 	}
 	cfg = cfg.withDefaults()
 	rep := &BenchReport{
-		Schema:     3,
+		Schema:     4,
 		Scale:      cfg.Scale,
 		EdgeFactor: cfg.EdgeFactor,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -114,14 +122,21 @@ func BenchJSON(cfg Config, repeat int, agg Aggregate) *BenchReport {
 					if prog != nil {
 						programs = append(programs, prog)
 					}
-					e := core.New(core.Options{Ranks: ranks, Undirected: true}, programs...)
+					e := core.New(core.Options{
+						Ranks:      ranks,
+						Undirected: true,
+						NoHybrid:   cfg.NoHybrid,
+						AutoTune:   cfg.AutoTune,
+					}, programs...)
 					for _, v := range inits {
 						e.InitVertex(0, v)
 					}
+					heapBefore := heapAlloc()
 					stats, err := e.Run(stream.Split(edges, ranks))
 					if err != nil {
 						panic(err)
 					}
+					heapAfter := heapAlloc()
 					es := e.EngineStats()
 					res := BenchResult{
 						Dataset:       d.Name,
@@ -145,6 +160,11 @@ func BenchJSON(cfg Config, repeat int, agg Aggregate) *BenchReport {
 						res.LatP99Nanos = int64(h.Quantile(0.99))
 						res.LatP999Nanos = int64(h.Quantile(0.999))
 					}
+					res.Compactions = es.Storage.Compactions
+					res.DeltaHitRate = es.Storage.DeltaHitRate()
+					if ne := e.Topology().NumEdges(); ne > 0 && heapAfter > heapBefore {
+						res.BytesPerEdge = float64(heapAfter-heapBefore) / float64(ne)
+					}
 					runs = append(runs, res)
 				}
 				rates := make([]float64, len(runs))
@@ -167,4 +187,13 @@ func BenchJSON(cfg Config, repeat int, agg Aggregate) *BenchReport {
 	}
 	rep.Results = append(rep.Results, mixedRuns[pick(mixedRates)])
 	return rep
+}
+
+// heapAlloc reads the live-heap gauge behind a forced GC, so run-over-run
+// deltas measure retained graph state rather than allocator slack.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
 }

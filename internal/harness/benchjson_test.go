@@ -22,11 +22,11 @@ func TestBenchJSONQuick(t *testing.T) {
 	if len(rep.Results) != want {
 		t.Fatalf("report has %d results, want %d", len(rep.Results), want)
 	}
-	if rep.Schema != 3 || rep.Scale != 10 || rep.EdgeFactor != 8 {
+	if rep.Schema != 4 || rep.Scale != 10 || rep.EdgeFactor != 8 {
 		t.Fatalf("report header = %+v", rep)
 	}
 	var mixed int
-	var combined uint64
+	var combined, compactions uint64
 	for _, r := range rep.Results {
 		if r.Scenario == "mixed" {
 			mixed++
@@ -49,10 +49,18 @@ func TestBenchJSONQuick(t *testing.T) {
 			t.Fatalf("%s/%s: single rank sent %d inter-rank messages",
 				r.Dataset, r.Algo, r.MessagesSent)
 		}
+		if r.DeltaHitRate < 0 || r.DeltaHitRate > 1 {
+			t.Fatalf("%s/%s/ranks=%d: delta hit rate %f out of [0,1]",
+				r.Dataset, r.Algo, r.Ranks, r.DeltaHitRate)
+		}
 		combined += r.CombinedAway
+		compactions += r.Compactions
 	}
 	if combined == 0 {
 		t.Fatal("coalescing never fired across the whole sweep")
+	}
+	if compactions == 0 {
+		t.Fatal("hybrid compaction never fired across the whole sweep (schema-4 fields dead)")
 	}
 	if mixed != 1 {
 		t.Fatalf("want exactly one mixed cell, got %d", mixed)

@@ -17,13 +17,19 @@ import (
 // runDynamic ingests edges into a fresh engine and returns its stats.
 // programs may be empty (construction only).
 func runDynamic(edges []graph.Edge, ranks int, programs []core.Program, inits map[int][]graph.VertexID) core.Stats {
-	e := core.New(core.Options{Ranks: ranks, Undirected: true}, programs...)
+	return runDynamicOpts(edges, core.Options{Ranks: ranks, Undirected: true}, programs, inits)
+}
+
+// runDynamicOpts is runDynamic with the full engine option surface exposed,
+// for experiments that A/B storage or tuning knobs.
+func runDynamicOpts(edges []graph.Edge, opts core.Options, programs []core.Program, inits map[int][]graph.VertexID) core.Stats {
+	e := core.New(opts, programs...)
 	for a, vs := range inits {
 		for _, v := range vs {
 			e.InitVertex(a, v)
 		}
 	}
-	stats, err := e.Run(stream.Split(edges, ranks))
+	stats, err := e.Run(stream.Split(edges, opts.Ranks))
 	if err != nil {
 		panic(err)
 	}
@@ -262,6 +268,114 @@ func Fig6(cfg Config) *Table {
 	}
 	t.AddNote("paper shape: near-linear speedup in rank count; graph size does not materially change the event rate (good weak scaling)")
 	return t
+}
+
+// Scaling runs the PR 8 rank-count scaling study: CON and live BFS over a
+// scale >= 20 RMAT stream, sweeping rank count against the storage
+// variants (hybrid on/off × auto-tune on/off). It is deliberately not part
+// of `paperbench all` — at 2^20 vertices × 16 edge factor each cell
+// ingests ~16.8M topology events, so the full matrix takes minutes.
+// cfg.Quick drops to scale 12 for a shape-only smoke run.
+func Scaling(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	scale := cfg.Scale
+	if scale < 20 {
+		scale = 20
+	}
+	if cfg.Quick {
+		scale = 12
+	}
+	rc := rmat.Config{Scale: scale, EdgeFactor: cfg.EdgeFactor, Seed: 7}
+	edges := rmat.GenerateParallel(rc, 0)
+	variants := []struct {
+		name       string
+		noHybrid   bool
+		autoTune   bool
+		compactCap int
+	}{
+		{"pure-dynamic", true, false, 0},
+		{"pure-dynamic+tune", true, true, 0},
+		{"hybrid cap16", false, false, 16},
+		{"hybrid cap128", false, false, 128},
+		{"hybrid+tune", false, true, 0},
+	}
+	header := []string{"Algo/Storage"}
+	for _, r := range cfg.Ranks {
+		header = append(header, fmt.Sprintf("%d ranks", r))
+	}
+	header = append(header, "compact@max", "scan@max")
+	t := &Table{
+		Title:  fmt.Sprintf("Rank scaling, RMAT(%d) ef %d: hybrid and auto-tune A/B", scale, cfg.EdgeFactor),
+		Header: header,
+	}
+	for _, algoName := range []string{"CON", "BFS"} {
+		var programs []core.Program
+		initMap := map[int][]graph.VertexID{}
+		if algoName == "BFS" {
+			programs = []core.Program{algo.BFS{}}
+			initMap[0] = []graph.VertexID{0}
+		}
+		for _, v := range variants {
+			row := []string{algoName + "/" + v.name}
+			var lastCompactions uint64
+			var lastEngine *core.Engine
+			for _, ranks := range cfg.Ranks {
+				e := core.New(core.Options{
+					Ranks: ranks, Undirected: true,
+					NoHybrid: v.noHybrid, AutoTune: v.autoTune,
+					CompactCap: v.compactCap,
+				}, programs...)
+				for a, vs := range initMap {
+					for _, src := range vs {
+						e.InitVertex(a, src)
+					}
+				}
+				stats, err := e.Run(stream.Split(edges, ranks))
+				if err != nil {
+					panic(err)
+				}
+				lastCompactions = e.EngineStats().Storage.Compactions
+				lastEngine = e
+				row = append(row, metrics.HumanRate(stats.EventsPerSec))
+			}
+			row = append(row, metrics.HumanCount(lastCompactions))
+			// Scan side of the locality trade: full-graph adjacency sweeps
+			// over the terminated engine (CON variants only — the topology
+			// is identical across algorithms). This is what the segments
+			// buy; ingest rate alone only shows what they cost.
+			if algoName == "CON" {
+				row = append(row, metrics.HumanRate(scanRate(lastEngine)))
+			} else {
+				row = append(row, "-")
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.AddNote("tracked target: >=10M ev/s aggregate ingest at the widest rank count (paper runs on a 3,072-core cluster; on hosts with fewer cores than ranks, extra ranks are concurrency, not parallelism)")
+	t.AddNote("scan@max: best-of-3 full adjacency sweep (edges/s) over the widest-rank run's final graph")
+	return t
+}
+
+// scanRate measures full-graph adjacency scan throughput (directed entries
+// per second, best of 3 sweeps) over a terminated engine.
+func scanRate(e *core.Engine) float64 {
+	topo := e.Topology()
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		var n uint64
+		start := time.Now()
+		topo.ForEachVertex(func(v graph.VertexID) bool {
+			topo.Neighbors(v, func(graph.VertexID, graph.Weight) bool {
+				n++
+				return true
+			})
+			return true
+		})
+		if r := float64(n) / time.Since(start).Seconds(); r > best {
+			best = r
+		}
+	}
+	return best
 }
 
 // Fig7 regenerates Figure 7: multi-source S-T connectivity on the

@@ -64,10 +64,16 @@ func fixedStats() core.EngineStats {
 			Enabled: true, Epoch: 12, PublishedEpoch: 11, Publishes: 20, Restamps: 4,
 			PointReads: 500, BatchReads: 30, TopKReads: 7, NbhdReads: 3, ReadVertices: 1200,
 		},
+		Storage: core.StorageStats{
+			Hybrid: true, Compactions: 15, SegmentEdges: 900,
+			SegClones: 6, SegScanned: 4000, DeltaScanned: 1000,
+		},
+		AutoTune:    true,
+		TuneAdjusts: 3,
 	}
 	s.PerRank = []core.RankEngineStats{
-		{Rank: 0, MailboxHWM: 12, MailboxDepth: 3},
-		{Rank: 1, MailboxHWM: 7, MailboxDepth: 0},
+		{Rank: 0, MailboxHWM: 12, MailboxDepth: 3, EffBatch: 128},
+		{Rank: 1, MailboxHWM: 7, MailboxDepth: 0, EffBatch: 256},
 	}
 	s.Transport = core.TransportStats{
 		Kind: "tcp", Node: 0, Nodes: 2,

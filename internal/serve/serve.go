@@ -227,6 +227,24 @@ func (pub *Publisher) EdgeDeleted(slot graph.Slot, nbr graph.VertexID) {
 	}
 }
 
+// SegmentCompacted replaces the vertex's mirrored adjacency with the
+// store's freshly compacted segment, shared by reference. Sound because
+// the store's segments are immutable-once-built and allocated with
+// len == cap (weight merges and deletes clone; an append through an
+// aliased header must reallocate), and at the compaction instant the
+// mirror and the segment hold the same (Nbr, W) set — every merge that
+// touched the segment was also mirrored. The segment additionally carries
+// real Seq tags where the mirror held zeroes; read-plane traversals only
+// consume Nbr (and W for point reads), so the extra field is inert.
+// Published slice headers keep aliasing whatever array they recorded.
+func (pub *Publisher) SegmentCompacted(slot graph.Slot, seg []graph.HalfEdge) {
+	s := int(slot)
+	for len(pub.adj) <= s {
+		pub.adj = append(pub.adj, nil)
+	}
+	pub.adj[s] = seg
+}
+
 // Publish builds and swaps in a fresh segment for this rank: ids is the
 // store's append-only vertex-id slice (shared, never copied — slot i is
 // ids[i] forever), vals the rank's live per-algorithm value columns

@@ -77,6 +77,12 @@ type Config struct {
 	// actually observed being processed.
 	SampleEvery int
 	LineageKeep int
+	// CompactCap is the hybrid tier's compaction threshold (0 selects 4 —
+	// far below the engine default, so the small simulated worlds actually
+	// queue compactions for the scheduler to own). The hybrid tier itself
+	// is always on in simulation; compaction timing is a scheduler action
+	// (actCompact) differentially checked by SimDriver.CompactOne.
+	CompactCap int
 	// Serve enables the MVCC read plane: the scheduler gains epoch-advance
 	// and per-rank publish actions (StartSim never runs the production
 	// ticker, so epoch timing is fully schedule-controlled), samples
@@ -105,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Snapshots < 0 {
 		c.Snapshots = 0
+	}
+	if c.CompactCap <= 0 {
+		c.CompactCap = 4
 	}
 	return c
 }
@@ -137,6 +146,10 @@ type Result struct {
 	// Config.Serve is off) — the vacuity guards for the serve checker.
 	ServeReads     int
 	ServePublishes int
+	// Compactions counts scheduler-driven hybrid-tier compactions, each
+	// differentially checked (the vacuity guard for the compaction
+	// checker — a sweep where this stays 0 exercised nothing).
+	Compactions int
 	// Final is the converged state of the single program.
 	Final map[graph.VertexID]uint64
 }
@@ -161,6 +174,7 @@ const (
 	actCkpt                      // checkpoint round-trip at a paused quiescent cut
 	actServeEpoch                // advance the read plane's epoch (bounded budget)
 	actServePub                  // rank publishes its due serve segment
+	actCompact                   // rank compacts one queued hybrid-tier vertex
 )
 
 type action struct {
@@ -186,6 +200,7 @@ func Run(cfg Config) Result {
 		SampleEvery:  cfg.SampleEvery,
 		LineageKeep:  cfg.LineageKeep,
 		Serve:        cfg.Serve,
+		CompactCap:   cfg.CompactCap,
 	}, monitor(sp.prog(w), chk))
 	d, err := e.StartSim(stream.Split(w.edges, cfg.Ranks))
 	if err != nil {
@@ -291,6 +306,9 @@ func Run(cfg Config) Result {
 			if d.ServePublishDue(r) {
 				acts = append(acts, action{kind: actServePub, rank: r})
 			}
+			if d.CompactPending(r) > 0 {
+				acts = append(acts, action{kind: actCompact, rank: r})
+			}
 		}
 		return acts
 	}
@@ -381,6 +399,12 @@ func Run(cfg Config) Result {
 			}
 			chk.serveFloor[act.rank] = floorOracle
 			res.ServePublishes++
+		case actCompact:
+			if ok, err := d.CompactOne(act.rank); err != nil {
+				chk.violatef("%v", err)
+			} else if ok {
+				res.Compactions++
+			}
 		}
 		chk.afterStep()
 		if srng.Intn(16) == 0 {

@@ -33,6 +33,9 @@ func TestSimSmoke(t *testing.T) {
 				t.Errorf("%s coalesce=%v: serve checking was vacuous (%d reads, %d publishes)",
 					a, !noCoal, res.ServeReads, res.ServePublishes)
 			}
+			if res.Compactions == 0 {
+				t.Errorf("%s coalesce=%v: compaction checking was vacuous (0 compactions)", a, !noCoal)
+			}
 		}
 	}
 }

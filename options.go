@@ -86,6 +86,27 @@ func WithoutCoalescing() Option {
 	return func(c *Config) { c.NoCoalesce = true }
 }
 
+// WithoutHybrid disables the hybrid CSR-delta storage tier (see
+// Config.NoHybrid), leaving the pure dynamic adjacency. Converged results
+// are identical either way; this is an ablation knob.
+func WithoutHybrid() Option {
+	return func(c *Config) { c.NoHybrid = true }
+}
+
+// WithCompactCap sets the delta size that queues a vertex for background
+// compaction (see Config.CompactCap; default 16).
+func WithCompactCap(n int) Option {
+	return func(c *Config) { c.CompactCap = n }
+}
+
+// WithAutoTune enables the per-rank feedback controller (see
+// Config.AutoTune): each rank adjusts its effective batch size and
+// compaction threshold online from its own latency histograms. Off by
+// default; an ablation knob like WithoutCoalescing.
+func WithAutoTune(on bool) Option {
+	return func(c *Config) { c.AutoTune = on }
+}
+
 // WithServe enables the MVCC read plane (see Config.Serve): lock-free
 // ReadPoint/ReadBatch/ReadTopK/ReadNeighborhood over epoch-stamped
 // published segments while ingestion never pauses.
