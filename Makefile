@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race sim fuzz-smoke proc-smoke query-smoke bench bench-json bench-check metrics-smoke watch-demo examples clean
+.PHONY: check fmt vet build test race sim fuzz-smoke proc-smoke query-smoke churn-smoke bench bench-json bench-check metrics-smoke watch-demo examples clean
 
 check: fmt vet build test race
 
@@ -43,6 +43,7 @@ fuzz-smoke:
 	$(GO) test ./internal/core/ -fuzz FuzzReadCheckpoint -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/core/ -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/sim/ -fuzz FuzzSimDifferential -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/sim/ -fuzz FuzzDeleteInterleaving -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./cmd/ingest/ -fuzz FuzzQueryRequest -fuzztime $(FUZZTIME) -run '^$$'
 
 # Multi-OS-process loopback smoke: a real cluster run of cmd/ingest
@@ -58,6 +59,14 @@ proc-smoke:
 query-smoke:
 	./scripts/query_smoke.sh
 
+# Deletion-protocol smoke: cmd/ingest with -churn (live deletes and
+# re-adds interleaved by gen.Churn) across every algorithm, each run
+# -verify'd against a static recompute of the surviving topology, plus a
+# determinism check (same seed twice must -dump identically). See
+# scripts/churn_smoke.sh.
+churn-smoke:
+	./scripts/churn_smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
@@ -69,7 +78,7 @@ bench:
 # (median) while the bench-check gate measures best effort (best-of-3),
 # so the gate's ratio centers above 1.0 with the tolerance as real margin.
 bench-json:
-	$(GO) run ./cmd/paperbench bench -quick -repeat 3 -agg median -json BENCH_PR8.json
+	$(GO) run ./cmd/paperbench bench -quick -repeat 3 -agg median -json BENCH_PR9.json
 
 # Bench-regression gate: regenerate the quick sweep (best-of-3) into a
 # scratch file and fail on any cell regressing more than BENCH_TOL against
@@ -79,7 +88,7 @@ bench-json:
 BENCH_TOL ?= 0.15
 bench-check:
 	$(GO) run ./cmd/paperbench bench -quick -repeat 3 -json bench-current.json
-	$(GO) run ./cmd/paperbench benchcmp -baseline BENCH_PR8.json \
+	$(GO) run ./cmd/paperbench benchcmp -baseline BENCH_PR9.json \
 		-current bench-current.json -tol $(BENCH_TOL) -min-lookups 1000000
 
 # Telemetry-pipeline smoke: the exposition golden/lint tests plus the

@@ -1,6 +1,7 @@
 package incregraph_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -189,6 +190,139 @@ func TestClusterTwoProcessDifferential(t *testing.T) {
 						s0.Peers[0], s1.Peers[0])
 				}
 				if s0.Peers[0].SentEvents+s1.Peers[0].SentEvents == 0 {
+					t.Fatal("no events crossed the wire")
+				}
+			})
+		}
+	}
+}
+
+// TestClusterChurnDifferential: the deletion protocol across genuine
+// process shards. A churned stream (live deletes and re-adds from
+// gen.Churn, split per endpoint pair so every delete rides the stream that
+// carried its add) runs on a 2- and a 3-process loopback cluster; the
+// merged shards must match a single-process run with the same global rank
+// count vertex for vertex, and both must match the static oracle over the
+// surviving topology. Witness invalidation cascades here cross the wire:
+// an INVALIDATE flood reaching a vertex whose parent lives on a peer
+// process exercises the same frames as ordinary updates, but any
+// mis-ordered or dropped cascade leaves a stale value the oracle catches.
+func TestClusterChurnDifferential(t *testing.T) {
+	edges := clusterEdges()
+	events := gen.Churn(edges, 0.25, 13)
+	for _, procs := range []int{2, 3} {
+		for _, tc := range clusterCases {
+			t.Run(fmt.Sprintf("%s/procs=%d", tc.name, procs), func(t *testing.T) {
+				sources := make([]incregraph.VertexID, tc.sources)
+				for i := range sources {
+					sources[i] = edges[(i*2654435761)%len(edges)].Src
+				}
+				globalRanks := procs * 2
+				base := incregraph.Config{WeightPolicy: tc.policy}
+
+				// Reference: one process holding every rank.
+				refCfg := base
+				refCfg.Ranks = globalRanks
+				ref := incregraph.New(refCfg, tc.programs(sources))
+				for _, s := range sources {
+					ref.InitVertex(0, s)
+				}
+				if _, err := ref.Run(incregraph.SplitEventsByPair(events, globalRanks)...); err != nil {
+					t.Fatal(err)
+				}
+				want := ref.CollectMap(0)
+
+				// Cluster: procs processes × two ranks over loopback TCP.
+				gs := make([]*incregraph.Graph, procs)
+				for i := range gs {
+					clCfg := base
+					clCfg.Ranks = 2
+					if i == 0 {
+						clCfg.Cluster = &incregraph.ClusterConfig{Proc: 0, Procs: procs, Listen: "127.0.0.1:0"}
+					} else {
+						clCfg.Cluster = &incregraph.ClusterConfig{Proc: i, Procs: procs, Join: gs[0].ClusterAddr()}
+						if i < procs-1 {
+							clCfg.Cluster.Listen = "127.0.0.1:0"
+						}
+					}
+					g, err := incregraph.NewCluster(clCfg, tc.programs(sources))
+					if err != nil {
+						t.Fatal(err)
+					}
+					gs[i] = g
+				}
+				for _, s := range sources {
+					gs[0].InitVertex(0, s)
+				}
+				streams := incregraph.SplitEventsByPair(events, globalRanks)
+				var wg sync.WaitGroup
+				for _, g := range gs {
+					wg.Add(1)
+					go func(g *incregraph.Graph) {
+						defer wg.Done()
+						if _, err := g.Run(streams...); err != nil {
+							t.Errorf("cluster: %v", err)
+						}
+					}(g)
+				}
+				done := make(chan struct{})
+				go func() { wg.Wait(); close(done) }()
+				select {
+				case <-done:
+				case <-time.After(120 * time.Second):
+					t.Fatal("churn cluster run did not terminate")
+				}
+				for _, g := range gs {
+					if err := g.Err(); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				got := make(map[incregraph.VertexID]uint64)
+				for _, g := range gs {
+					for v, val := range g.CollectMap(0) {
+						if _, dup := got[v]; dup {
+							t.Fatalf("vertex %d collected on two processes", v)
+						}
+						got[v] = val
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("cluster reached %d vertices, single-process %d", len(got), len(want))
+				}
+				for v, w := range want {
+					if got[v] != w {
+						t.Fatalf("vertex %d: cluster %d, single-process %d", v, got[v], w)
+					}
+				}
+
+				// The static oracle over the SURVIVING topology — any value
+				// still derived from a deleted edge diverges here.
+				oracle := tc.oracle(ref.Topology(), sources)
+				for v, val := range got {
+					if int(v) < len(oracle) && val != oracle[v] {
+						t.Fatalf("vertex %d: cluster %d, static oracle %d", v, val, oracle[v])
+					}
+				}
+
+				// The workload actually deleted (the churned stream is not
+				// vacuously add-only) and the wire was exercised.
+				deletes := 0
+				for _, ev := range events {
+					if ev.Delete {
+						deletes++
+					}
+				}
+				if deletes == 0 {
+					t.Fatal("churn stream carried no deletes — differential is vacuous")
+				}
+				var crossed uint64
+				for _, g := range gs {
+					for _, p := range g.Stats().Transport.Peers {
+						crossed += p.SentEvents
+					}
+				}
+				if crossed == 0 {
 					t.Fatal("no events crossed the wire")
 				}
 			})

@@ -71,6 +71,8 @@ func main() {
 		srvOn   = flag.Bool("serve", false, "enable the MVCC read plane and the batched JSON /query API on -debug.addr")
 		srvEvry = flag.Duration("serve.every", 0, "read-plane epoch cadence (0 = engine default 50ms; implies -serve)")
 		noHyb   = flag.Bool("no-hybrid", false, "disable the hybrid CSR-delta storage tier (A/B ablation)")
+		churn   = flag.Float64("churn", 0, "interleave live edge deletions (and occasional re-adds) into an add-only input: the probability of one delete after each add (0 disables)")
+		churnSd = flag.Int64("churn.seed", 1, "seed for the churn interleaving")
 		tune    = flag.Bool("autotune", false, "enable the per-rank auto-tune controller (batch size + compaction threshold)")
 		linger  = flag.Duration("linger", 0, "after the run (and -dump) completes, keep the process and its -debug.addr endpoints alive this long before exiting")
 	)
@@ -100,6 +102,14 @@ func main() {
 		if !ev.Delete {
 			edges = append(edges, ev.Edge)
 		}
+	}
+	if *churn > 0 {
+		if hasDeletes(events) {
+			fatal(fmt.Errorf("-churn needs an add-only input (this dataset already carries deletes)"))
+		}
+		events = gen.Churn(edges, *churn, *churnSd)
+		// edges keeps the base adds: algorithm source selection must not
+		// depend on which pairs the churn happened to kill.
 	}
 
 	prog, inits, err := buildAlgo(*algoN, edges, *sources, graph.VertexID(*src), flag.Lookup("source").Value.String() != "0")
@@ -179,10 +189,11 @@ func main() {
 
 	var streams []incregraph.Stream
 	if hasDeletes(events) {
-		// Deletes must stay ordered after their adds: single stream
-		// (global rank 0 ingests it; in a cluster that is process 0).
-		streams = []incregraph.Stream{incregraph.StreamEvents(events)}
-		fmt.Println("dataset contains deletes: using one ordered stream")
+		// Deletes must stay ordered after their pair's adds, but that only
+		// needs per-pair order, not a global one: split by endpoint pair so
+		// delete-carrying streams still shard across every rank.
+		streams = incregraph.SplitEventsByPair(events, g.Ranks())
+		fmt.Println("dataset contains deletes: pair-keyed stream split")
 	} else {
 		// The split is over the GLOBAL rank space; each process ingests
 		// only the streams of its local ranks and skips the rest.

@@ -8,7 +8,7 @@
 //	paperbench all
 //	paperbench fig5 -scale 15 -ranks 1,2,4,8
 //	paperbench fig7 -quick
-//	paperbench bench -quick -json BENCH_PR8.json
+//	paperbench bench -quick -json BENCH_PR9.json
 //
 // Absolute rates will not match the authors' 3,072-core Catalyst cluster;
 // the reproduction target is the shape of each comparison, which every
@@ -85,7 +85,7 @@ func main() {
 	}
 
 	// `bench` is the machine-readable counterpart of fig5: the same sweep,
-	// emitted as JSON (BENCH_PR8.json in CI) so the perf trajectory — event
+	// emitted as JSON (BENCH_PR9.json in CI) so the perf trajectory — event
 	// rates plus the self-delivery and coalescing counters — is diffable
 	// across PRs instead of locked in prose tables.
 	if which == "bench" {
@@ -134,7 +134,7 @@ func main() {
 // exact rules).
 func benchcmp(args []string) {
 	fs := flag.NewFlagSet("paperbench benchcmp", flag.ExitOnError)
-	baseline := fs.String("baseline", "BENCH_PR8.json", "committed baseline report")
+	baseline := fs.String("baseline", "BENCH_PR9.json", "committed baseline report")
 	current := fs.String("current", "", "freshly generated report to check (required)")
 	tol := fs.Float64("tol", 0.15, "allowed fractional throughput regression")
 	minLookups := fs.Float64("min-lookups", 0, "absolute lookups/sec floor for the mixed cell (0 = off)")

@@ -91,3 +91,22 @@ func (b BFS) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w grap
 // Combine implements core.Combiner: of two same-weight level offers to one
 // vertex, the lower subsumes the higher (Unset means "no path offered").
 func (BFS) Combine(old, new uint64) uint64 { return combineMin(old, new) }
+
+// WitnessLanes implements core.WitnessProgram: the level is one scalar.
+func (BFS) WitnessLanes() int { return 1 }
+
+// ChangedLanes reports real level progress. The Unset→Infinity
+// initialization is not progress (both mean "no path"), so it records no
+// witness.
+func (BFS) ChangedLanes(before, after uint64) uint64 {
+	if norm(before) != norm(after) {
+		return 1
+	}
+	return 0
+}
+
+// Reseed restores "no path known": the engine re-learns the level from the
+// INVALIDATE cascade's intact frontier.
+func (BFS) Reseed(ctx *core.Ctx, lanes uint64) {
+	ctx.SetValue(core.Infinity)
+}

@@ -69,3 +69,24 @@ func (CC) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w graph.W
 // Combine implements core.Combiner: the smaller component label subsumes
 // the larger (Unset means "no label carried" and any real label wins).
 func (CC) Combine(old, new uint64) uint64 { return combineMin(old, new) }
+
+// WitnessLanes implements core.WitnessProgram: the label is one scalar.
+func (CC) WitnessLanes() int { return 1 }
+
+// ChangedLanes reports label progress. The Unset→self-label instantiation
+// inside ccValue counts as a change and attributes a witness to the
+// visiting neighbour; that is conservatively safe — Reseed restores the
+// identical self-label, so the spurious invalidation is a no-op beyond the
+// cascade probe.
+func (CC) ChangedLanes(before, after uint64) uint64 {
+	if before != after {
+		return 1
+	}
+	return 0
+}
+
+// Reseed restores self-domination: the vertex re-assumes its own hashed
+// label and re-learns the component minimum from the intact frontier.
+func (CC) Reseed(ctx *core.Ctx, lanes uint64) {
+	ctx.SetValue(graph.CCLabel(ctx.Vertex()))
+}

@@ -64,3 +64,20 @@ func (s SSSP) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w gra
 // across the same edge weight, the cheaper subsumes the costlier (Unset
 // means "no path offered").
 func (SSSP) Combine(old, new uint64) uint64 { return combineMin(old, new) }
+
+// WitnessLanes implements core.WitnessProgram: the path cost is one scalar.
+func (SSSP) WitnessLanes() int { return 1 }
+
+// ChangedLanes reports real cost progress (Unset→Infinity initialization
+// is not progress).
+func (SSSP) ChangedLanes(before, after uint64) uint64 {
+	if norm(before) != norm(after) {
+		return 1
+	}
+	return 0
+}
+
+// Reseed restores "no path known".
+func (SSSP) Reseed(ctx *core.Ctx, lanes uint64) {
+	ctx.SetValue(core.Infinity)
+}

@@ -90,3 +90,19 @@ func (m *MultiST) OnUpdate(ctx *core.Ctx, from graph.VertexID, fromVal uint64, w
 // Combine implements core.Combiner: connectivity bitmaps merge by union,
 // which subsumes delivering each set separately.
 func (*MultiST) Combine(old, new uint64) uint64 { return old | new }
+
+// WitnessLanes implements core.WitnessProgram: each source bit is an
+// independently-witnessed lane (a vertex may be connected to source 0
+// through one edge and source 1 through another).
+func (m *MultiST) WitnessLanes() int { return max(m.n, 1) }
+
+// ChangedLanes reports the source bits the callback newly gained.
+func (m *MultiST) ChangedLanes(before, after uint64) uint64 {
+	return after &^ before
+}
+
+// Reseed drops the unsafe source bits; intact lanes keep their bits (and
+// witnesses).
+func (m *MultiST) Reseed(ctx *core.Ctx, lanes uint64) {
+	ctx.SetValue(ctx.Value() &^ lanes)
+}

@@ -79,3 +79,19 @@ func (Widest) Combine(old, new uint64) uint64 {
 	}
 	return old
 }
+
+// WitnessLanes implements core.WitnessProgram: the width is one scalar.
+func (Widest) WitnessLanes() int { return 1 }
+
+// ChangedLanes reports width progress.
+func (Widest) ChangedLanes(before, after uint64) uint64 {
+	if before != after {
+		return 1
+	}
+	return 0
+}
+
+// Reseed restores "no path yet" (Unset).
+func (Widest) Reseed(ctx *core.Ctx, lanes uint64) {
+	ctx.SetValue(core.Unset)
+}

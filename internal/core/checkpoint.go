@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 
 	"incregraph/internal/graph"
 )
@@ -28,11 +29,19 @@ import (
 // engine lifetime.
 
 // Format versions: v2 adds the run-metadata block (ingested count, paused
-// flag) between the flags word and the program count; v1 checkpoints are
-// still readable and load with zero metadata.
+// flag) between the flags word and the program count; v3 adds, after each
+// vertex's program values, one witness block per witness-capable program
+// (generation, lane mask, and the recorded witness per set lane). Witness
+// state MUST be persisted: loading values without their witnesses would
+// misclassify every later deletion as safe (empty masks silently skip
+// invalidation), while treating them all as unsafe would reset values —
+// like an Init'd source — that no replayed event can rebuild. v1/v2
+// checkpoints are still readable and load with zero metadata / no witness
+// state, which is only sound for add-only resumed streams.
 var (
 	ckptMagicV1 = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '1'}
-	ckptMagic   = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '2'}
+	ckptMagicV2 = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '2'}
+	ckptMagic   = [8]byte{'I', 'G', 'C', 'K', 'P', 'T', '0', '3'}
 )
 
 // maxCheckpointRanks bounds the rank count a checkpoint header may claim.
@@ -84,6 +93,9 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 		pausedByte = 1
 	}
 	bw.WriteByte(pausedByte)
+	// v3: the generation counter, so resumed runs keep minting generations
+	// strictly above every generation the checkpointed state carries.
+	writeU32(e.genCounter.Load())
 	writeU32(uint32(len(e.programs)))
 	for _, r := range e.ranks {
 		writeU32(uint32(r.store.NumVertices()))
@@ -95,6 +107,29 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 					v = vals[slot]
 				}
 				writeU64(v)
+			}
+			// v3 witness blocks, one per witness-capable program: the
+			// vertex's generation, its witnessed-lane mask, and the witness
+			// of each set lane in ascending lane order.
+			for a := range e.programs {
+				if e.witness[a] == nil {
+					continue
+				}
+				var gen uint32
+				if int(slot) < len(r.gens[a]) {
+					gen = r.gens[a][slot]
+				}
+				var mask uint64
+				if int(slot) < len(r.witMask[a]) {
+					mask = r.witMask[a][slot]
+				}
+				writeU32(gen)
+				writeU64(mask)
+				base := int(slot) * r.witLanes[a]
+				for m := mask; m != 0; m &= m - 1 {
+					lane := bits.TrailingZeros64(m)
+					writeU64(uint64(r.wits[a][base+lane]))
+				}
 			}
 			writeU32(uint32(r.store.Degree(slot)))
 			r.store.Neighbors(slot, func(nbr graph.VertexID, w graph.Weight) bool {
@@ -121,7 +156,7 @@ func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, er
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: checkpoint header: %w", err)
 	}
-	if magic != ckptMagic && magic != ckptMagicV1 {
+	if magic != ckptMagic && magic != ckptMagicV2 && magic != ckptMagicV1 {
 		return nil, fmt.Errorf("core: not a checkpoint (bad magic %q)", magic[:])
 	}
 	readU32 := func() (uint32, error) {
@@ -149,7 +184,8 @@ func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, er
 		return nil, err
 	}
 	var meta CheckpointMeta
-	if magic == ckptMagic {
+	var genCounter uint32
+	if magic == ckptMagic || magic == ckptMagicV2 {
 		if meta.Ingested, err = readU64(); err != nil {
 			return nil, fmt.Errorf("core: checkpoint metadata: %w", err)
 		}
@@ -158,6 +194,11 @@ func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, er
 			return nil, fmt.Errorf("core: checkpoint metadata: %w", err)
 		}
 		meta.Paused = pausedByte != 0
+	}
+	if magic == ckptMagic {
+		if genCounter, err = readU32(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint metadata: %w", err)
+		}
 	}
 	nProgs, err := readU32()
 	if err != nil {
@@ -171,6 +212,7 @@ func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, er
 	opts.WeightPolicy = graph.WeightPolicy(flags >> 1 & 3)
 	e := New(opts, programs...)
 	e.loadedMeta = meta
+	e.genCounter.Store(genCounter)
 
 	for ri, rk := range e.ranks {
 		nVerts, err := readU32()
@@ -195,6 +237,36 @@ func ReadCheckpoint(r io.Reader, opts Options, programs ...Program) (*Engine, er
 					return nil, err
 				}
 				rk.values[a][slot] = v
+			}
+			if magic == ckptMagic {
+				for a := range programs {
+					if e.witness[a] == nil {
+						continue
+					}
+					gen, err := readU32()
+					if err != nil {
+						return nil, err
+					}
+					mask, err := readU64()
+					if err != nil {
+						return nil, err
+					}
+					lanes := rk.witLanes[a]
+					if lanes < 64 && mask>>lanes != 0 {
+						return nil, fmt.Errorf("core: vertex %d witness mask %#x has bits beyond program %d's %d lanes",
+							id, mask, a, lanes)
+					}
+					rk.gens[a][slot] = gen
+					rk.witMask[a][slot] = mask
+					base := int(slot) * lanes
+					for m := mask; m != 0; m &= m - 1 {
+						wit, err := readU64()
+						if err != nil {
+							return nil, err
+						}
+						rk.wits[a][base+bits.TrailingZeros64(m)] = graph.VertexID(wit)
+					}
+				}
 			}
 			deg, err := readU32()
 			if err != nil {

@@ -5,7 +5,8 @@ import "incregraph/internal/graph"
 // Monotone update coalescing (the Pregel-style combiner, made sound by the
 // REMO contract — see DESIGN.md "Combining is sound for REMO"): UPDATE
 // events parked in a rank's outbound buffers (or its self-delivery ring)
-// that share (Algo, To, Seq, W) are merged down to the single best value
+// that share (Algo, To, From, Seq, W, Gen) are merged down to the single
+// best value
 // via the program's Combine hook, before they ever cross the rank
 // boundary. Only KindUpdate is ever combined; every other kind acts as a
 // coalescing barrier on its destination buffer, so FIFO-dependent ordering
@@ -25,8 +26,10 @@ type combineFunc func(old, new uint64) uint64
 // recent combinable UPDATE for a key sits in an outbound buffer.
 type coalEntry struct {
 	to    graph.VertexID
+	from  graph.VertexID
 	seq   uint32
 	epoch uint32
+	gen   uint32
 	pos   int32
 	dest  int32
 	w     graph.Weight
@@ -80,7 +83,9 @@ func (c *coalescer) barrier(dest int) {
 
 func (c *coalescer) slot(ev *Event) *coalEntry {
 	h := uint64(ev.To)*0x9E3779B97F4A7C15 ^
-		uint64(ev.Seq)<<27 ^ uint64(ev.W)<<9 ^ uint64(ev.Algo)
+		uint64(ev.From)*0xFF51AFD7ED558CCD ^
+		uint64(ev.Seq)<<27 ^ uint64(ev.W)<<9 ^ uint64(ev.Algo) ^
+		uint64(ev.Gen)<<17
 	h ^= h >> 32
 	return &c.table[uint32(h)&c.mask]
 }
@@ -92,8 +97,17 @@ func (c *coalescer) slot(ev *Event) *coalEntry {
 // lineage combined it away (0 when the absorber is untraced).
 func (c *coalescer) combineInto(r *rank, dest int, ev *Event) (merged bool, into uint64) {
 	e := c.slot(ev)
+	// Gen is part of the key: UPDATEs emitted under different witness
+	// generations must never merge — the receiver's gen guard would judge
+	// the merged event by a single Gen, potentially accepting a value that
+	// the deletion protocol meant to discard (or dropping one it needed).
+	// From is part of the key for the same protocol: the receiver records
+	// the merged event's From as the surviving value's witness parent, so
+	// merging across senders would mis-attribute support — a later delete
+	// of the true supporting edge would then never invalidate the value.
 	if !e.live || e.dest != int32(dest) || e.epoch != c.epochs[dest] ||
-		e.to != ev.To || e.seq != ev.Seq || e.w != ev.W || e.algo != ev.Algo {
+		e.to != ev.To || e.from != ev.From || e.seq != ev.Seq ||
+		e.w != ev.W || e.algo != ev.Algo || e.gen != ev.Gen {
 		return false, 0
 	}
 	buf := e.bufferedEvent(r, dest)
@@ -130,7 +144,8 @@ func (e *coalEntry) bufferedEvent(r *rank, dest int) *Event {
 // next same-key emission can merge into it.
 func (c *coalescer) remember(dest int, ev *Event, pos int) {
 	*c.slot(ev) = coalEntry{
-		to: ev.To, seq: ev.Seq, epoch: c.epochs[dest],
-		pos: int32(pos), dest: int32(dest), w: ev.W, algo: ev.Algo, live: true,
+		to: ev.To, from: ev.From, seq: ev.Seq, epoch: c.epochs[dest],
+		gen: ev.Gen, pos: int32(pos), dest: int32(dest), w: ev.W,
+		algo: ev.Algo, live: true,
 	}
 }

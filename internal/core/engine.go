@@ -139,9 +139,20 @@ type Engine struct {
 	runErr   error
 	// combine[algo] is that program's Combine hook (nil when the program
 	// does not implement Combiner or Options.NoCoalesce is set).
-	combine  []combineFunc
-	triggers []trigger
-	ranks    []*rank
+	combine []combineFunc
+	// witness[algo] is that program's WitnessProgram view (nil when the
+	// program does not implement it, or in directed mode — the deletion
+	// protocol's live-edge guard requires the undirected reverse edge).
+	witness []WitnessProgram
+	// genCounter mints witness generations (see nextGen). Like the
+	// in-flight ring it is a deliberate shared-atomic deviation from
+	// shared-nothing: a reset's generation must be strictly above every
+	// generation any in-flight event anywhere can carry, which a per-rank
+	// counter cannot guarantee. One uncontended add per *unsafe deletion*
+	// — never on the add/update hot path.
+	genCounter atomic.Uint32
+	triggers   []trigger
+	ranks      []*rank
 	// traces is the cascade-lineage table (nil when Options.SampleEvery is
 	// negative — the only check the untraced hot path ever makes is
 	// Event.Trace == 0).
@@ -205,6 +216,11 @@ type Engine struct {
 	simFlushHook   func(from, dest int, batch []Event)
 	simMutateBatch func(batch []Event)
 	simMergeHook   func(algo uint8, to graph.VertexID, old, offered, merged uint64)
+	// simSkipInvalidate (mutation testing only) makes handleDelete skip
+	// the witness classification entirely — deletions remove the edge but
+	// never invalidate dependent values. The sim's post-delete
+	// differential oracle must catch the resulting stale state.
+	simSkipInvalidate bool
 
 	// snapRequests counts SnapshotAsync calls (EngineStats.SnapshotsTaken).
 	snapRequests atomic.Uint64
@@ -262,6 +278,18 @@ func New(opts Options, programs ...Program) *Engine {
 		for i, p := range programs {
 			if c, ok := p.(Combiner); ok {
 				e.combine[i] = c.Combine
+			}
+		}
+	}
+	e.witness = make([]WitnessProgram, len(programs))
+	if opts.Undirected {
+		for i, p := range programs {
+			if wp, ok := p.(WitnessProgram); ok {
+				if wp.WitnessLanes() < 1 || wp.WitnessLanes() > 64 {
+					panic(fmt.Sprintf("core: program %d has %d witness lanes (want 1..64)",
+						i, wp.WitnessLanes()))
+				}
+				e.witness[i] = wp
 			}
 		}
 	}
@@ -507,6 +535,13 @@ func (e *Engine) labelSeq(ev *Event) {
 		e.inflight[s&3].Add(-1)
 	}
 }
+
+// nextGen mints a globally fresh witness generation, strictly above every
+// generation any already-emitted event carries. An unsafe deletion's reset
+// takes one per affected vertex; the fresh generation is what breaks
+// count-to-infinity — a value that looped through the doomed region
+// carries an older generation and is rejected at delivery.
+func (e *Engine) nextGen() uint32 { return e.genCounter.Add(1) }
 
 // tryFinish detects global termination: every stream exhausted (or a stop
 // requested) and no event buffered, queued, or mid-processing anywhere.

@@ -48,6 +48,38 @@ type DeleteAware interface {
 	OnReverseDelete(ctx *Ctx, nbr graph.VertexID, nbrVal uint64, w graph.Weight)
 }
 
+// WitnessProgram is implemented by REMO programs that support edge
+// deletion through the parent-witness protocol (DESIGN.md "Deletions:
+// witnesses and bounded invalidation"). The engine — not the program —
+// maintains one supporting-parent witness per vertex per lane: whenever a
+// live-view OnUpdate/OnReverseAdd callback improves a lane of the vertex's
+// value, the engine records the visiting neighbour as that lane's witness.
+// On edge deletion, lanes whose witness is the removed neighbour are
+// unsafe (RisGraph's classification): the engine clears them, calls Reseed
+// to restore the lane's pre-knowledge value, and starts a bounded
+// INVALIDATE cascade; safe deletions cost nothing beyond the topology
+// update. Witness deletion is only active in the engine's undirected mode.
+//
+// Programs implement three pure helpers over their value encoding; they
+// never see the witnesses themselves.
+type WitnessProgram interface {
+	Program
+	// WitnessLanes is the number of independently-witnessed lanes packed
+	// into the vertex value: 1 for scalar values (level, cost, label,
+	// width), one per source bit for Multi S-T bitmaps. At most 64.
+	WitnessLanes() int
+	// ChangedLanes reports which lanes of the value a callback improved
+	// (bit i set = lane i progressed), given the value before and after.
+	// Zero means no real progress: no witness is recorded.
+	ChangedLanes(before, after uint64) uint64
+	// Reseed restores the vertex's value for the given unsafe lanes to its
+	// bottom ("no knowledge") state, as if the lanes had never been
+	// improved. The engine already cleared the lanes' witnesses; Reseed
+	// must only touch ctx.SetValue (no propagation — the engine's
+	// INVALIDATE cascade handles neighbours).
+	Reseed(ctx *Ctx, lanes uint64)
+}
+
 // SignalAware is implemented by programs that accept user-generated
 // attribute/signal events (Engine.Signal): external values delivered to a
 // single vertex, outside the topology-event flow. The REMO contract still
@@ -148,9 +180,10 @@ func (c *Ctx) EdgeWeight(nbr graph.VertexID) (graph.Weight, bool) {
 // the connecting edge. On the previous-version view, edges added after the
 // snapshot marker are invisible.
 func (c *Ctx) UpdateNbrs(val uint64) {
+	gen := c.r.genOf(c.algo, c.slot)
 	emit := func(nbr graph.VertexID, w graph.Weight) bool {
 		c.r.emit(Event{
-			Kind: KindUpdate, Algo: c.algo, Seq: c.seq,
+			Kind: KindUpdate, Algo: c.algo, Seq: c.seq, Gen: gen,
 			To: nbr, From: c.id, Val: val, W: w,
 		})
 		return true
@@ -168,7 +201,8 @@ func (c *Ctx) UpdateNbr(nbr graph.VertexID, val uint64) {
 	w, _ := c.r.store.EdgeWeight(c.slot, nbr)
 	c.r.emit(Event{
 		Kind: KindUpdate, Algo: c.algo, Seq: c.seq,
-		To: nbr, From: c.id, Val: val, W: w,
+		Gen: c.r.genOf(c.algo, c.slot),
+		To:  nbr, From: c.id, Val: val, W: w,
 	})
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
 	"time"
 
@@ -22,6 +23,19 @@ type rank struct {
 	// prevValues[algo][slot] is the previous-version state while a
 	// snapshot is in flight (§III-D); nil otherwise.
 	prevValues [][]uint64
+	// Parent-witness deletion state (DESIGN.md "Deletions"), maintained
+	// only for programs with a non-nil engine witness entry; the arrays
+	// grow with values. gens[algo][slot] is the vertex's witness
+	// generation (0 until its first invalidation). witMask[algo][slot] is
+	// the bitmap of lanes with a recorded witness; wits[algo][slot*lanes+
+	// lane] is that lane's supporting parent, meaningful only while its
+	// mask bit is set (so the full VertexID range, including ^0, stays
+	// addressable — there is no in-band "no witness" sentinel).
+	gens    [][]uint32
+	witMask [][]uint64
+	wits    [][]graph.VertexID
+	// witLanes[algo] caches WitnessLanes() (0 for non-witness programs).
+	witLanes []int
 	// firedBits[trigger][slot/64] marks triggers that already fired for a
 	// vertex; monotonicity makes one firing per vertex sufficient (§III-E).
 	firedBits [][]uint64
@@ -125,6 +139,15 @@ func newRank(e *Engine, id int) *rank {
 	}
 	r.values = make([][]uint64, len(e.programs))
 	r.prevValues = make([][]uint64, len(e.programs))
+	r.gens = make([][]uint32, len(e.programs))
+	r.witMask = make([][]uint64, len(e.programs))
+	r.wits = make([][]graph.VertexID, len(e.programs))
+	r.witLanes = make([]int, len(e.programs))
+	for a, wp := range e.witness {
+		if wp != nil {
+			r.witLanes[a] = wp.WitnessLanes()
+		}
+	}
 	return r
 }
 
@@ -539,10 +562,16 @@ func (r *rank) applyDecrements() {
 
 // growValues extends every state array to cover a newly created slot, in a
 // single step per array (Unset is the zero value, so the grown region
-// needs no explicit fill).
+// needs no explicit fill; witness-free and generation-zero are likewise
+// the zero values of the witness arrays).
 func (r *rank) growValues(slot graph.Slot) {
 	for a := range r.values {
 		r.values[a] = grownTo(r.values[a], slot)
+		if n := r.witLanes[a]; n != 0 {
+			r.gens[a] = grownSlice(r.gens[a], int(slot)+1)
+			r.witMask[a] = grownSlice(r.witMask[a], int(slot)+1)
+			r.wits[a] = grownSlice(r.wits[a], (int(slot)+1)*n)
+		}
 	}
 }
 
@@ -565,16 +594,197 @@ func (r *rank) prevValue(algo uint8, slot graph.Slot) uint64 {
 
 // grownTo returns vals extended (in one step) so that slot is in range.
 func grownTo(vals []uint64, slot graph.Slot) []uint64 {
-	if int(slot) < len(vals) {
-		return vals
+	return grownSlice(vals, int(slot)+1)
+}
+
+// grownSlice returns s extended (in one step) to at least length n.
+func grownSlice[T any](s []T, n int) []T {
+	if n <= len(s) {
+		return s
 	}
-	n := int(slot) + 1
-	if n <= cap(vals) {
-		return vals[:n] // append-grown capacity is already zeroed
+	if n <= cap(s) {
+		return s[:n] // append-grown capacity is already zeroed
 	}
-	grown := make([]uint64, n, max(n, 2*cap(vals)))
-	copy(grown, vals)
+	grown := make([]T, n, max(n, 2*cap(s)))
+	copy(grown, s)
 	return grown
+}
+
+// genOf reads a vertex's witness generation (0 for non-witness programs
+// and vertices never invalidated) — the generation every value the vertex
+// emits is stamped with.
+func (r *rank) genOf(algo uint8, slot graph.Slot) uint32 {
+	g := r.gens[algo]
+	if int(slot) >= len(g) {
+		return 0
+	}
+	return g[slot]
+}
+
+// unsafeLanes is the RisGraph-style safe/unsafe classification: the lanes
+// of (algo, slot) whose recorded supporting witness is nbr. A deletion (or
+// upstream invalidation) of the edge to nbr dooms exactly these lanes;
+// every other lane's value is supported by a surviving parent and is safe.
+func (r *rank) unsafeLanes(algo uint8, slot graph.Slot, nbr graph.VertexID) uint64 {
+	masks := r.witMask[algo]
+	if int(slot) >= len(masks) || masks[slot] == 0 {
+		return 0
+	}
+	var unsafe uint64
+	base := int(slot) * r.witLanes[algo]
+	for m := masks[slot]; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		if r.wits[algo][base+lane] == nbr {
+			unsafe |= 1 << lane
+		}
+	}
+	return unsafe
+}
+
+// recordWitness runs after a live-view OnUpdate/OnReverseAdd callback for
+// a witness program: lanes the callback improved adopt ev.From as their
+// supporting parent. The stored generation is never touched here — a
+// vertex's generation changes only in visit, which pairs the adoption of
+// a newer generation with the reset of every witnessed lane. (Callers
+// visit before applying any value carried under a newer generation, so
+// ev.Gen <= gens[slot] always holds at this point; adopting ev.Gen here
+// without that reset would let stale lanes re-emit under the new
+// generation and slip past other vertices' generation guards.)
+func (r *rank) recordWitness(wp WitnessProgram, ev *Event, slot graph.Slot, before uint64) {
+	lanes := wp.ChangedLanes(before, r.values[ev.Algo][slot])
+	if lanes == 0 {
+		return
+	}
+	r.witMask[ev.Algo][slot] |= lanes
+	base := int(slot) * r.witLanes[ev.Algo]
+	for m := lanes; m != 0; m &= m - 1 {
+		r.wits[ev.Algo][base+bits.TrailingZeros64(m)] = ev.From
+	}
+}
+
+// clearWitness marks lanes self-supported (Init/Signal progress: the value
+// came from outside the topology, so no edge deletion can doom it).
+func (r *rank) clearWitness(wp WitnessProgram, algo uint8, slot graph.Slot, before uint64) {
+	if lanes := wp.ChangedLanes(before, r.values[algo][slot]); lanes != 0 {
+		r.witMask[algo][slot] &^= lanes
+	}
+}
+
+// invalidate starts an invalidation cascade at (algo, slot): the root
+// visit, under a globally fresh cascade generation. One generation is
+// minted per cascade — every vertex the flood reaches adopts this same
+// number, so "my generation >= the event's" is a visited marker and each
+// vertex participates in a cascade at most once (generations are strictly
+// increasing, so the marker can never be un-set). That visit-once bound is
+// what makes the cascade terminate even when recorded witnesses form
+// cycles (reset epochs can close honest cycles: a re-learns from b whose
+// value earlier derived from a — see DESIGN.md "Deletions").
+func (r *rank) invalidate(wp WitnessProgram, algo uint8, slot graph.Slot,
+	id graph.VertexID, seq uint32) {
+	r.visit(wp, algo, slot, id, seq, r.eng.nextGen())
+}
+
+// visit runs one vertex's participation in cascade generation gen: adopt
+// the generation, reseed every witnessed lane (self-supported lanes —
+// Init/Signal progress, a reseed bottom — survive: they are the frontier
+// the region re-converges from), and flood INVALIDATE to every live
+// neighbour. Resetting all witnessed lanes, not just the ones witnessing
+// the cascade's sender, is what makes the protocol sound when witness
+// pointers lie in cycles ("doomed islands" whose members support each
+// other): the flood covers the entire live component without trusting any
+// witness direction, and after the visit every value the vertex emits is
+// stamped gen — so, inductively, any value accepted under gen derives
+// from self-supported lanes over live edges only.
+//
+// The flood doubles as the re-seed: each INVALIDATE carries the sender's
+// post-reset value, which an already-visited receiver applies as an
+// ordinary update. Because every neighbour gets the INVALIDATE before any
+// later gen-stamped traffic on the same FIFO channel, no value stamped
+// gen can arrive anywhere before the visit that justifies it.
+func (r *rank) visit(wp WitnessProgram, algo uint8, slot graph.Slot,
+	id graph.VertexID, seq uint32, gen uint32) {
+	r.gens[algo][slot] = gen
+	if lanes := r.witMask[algo][slot]; lanes != 0 {
+		r.witMask[algo][slot] = 0
+		ctx := r.ctx(algo, slot, id, seq, viewLive)
+		wp.Reseed(&ctx, lanes)
+	}
+	val := r.values[algo][slot]
+	r.store.Neighbors(slot, func(nbr graph.VertexID, w graph.Weight) bool {
+		r.emit(Event{Kind: KindInvalidate, Algo: algo, Seq: seq, Gen: gen,
+			To: nbr, From: id, Val: val, W: w})
+		return true
+	})
+}
+
+// handleInvalidate receives one step of an invalidation flood from
+// ev.From. An unvisited vertex (generation below the cascade's) visits —
+// reset plus onward flood; a visited one absorbs the step. Either way the
+// carried value is then applied over the surviving edge like a plain
+// update: the flood re-offers every surviving value to every reset
+// vertex, so the region re-converges from the self-supported frontier
+// with no separate re-seeding round. A step from a cascade older than the
+// vertex's generation applies nothing (its value may predate our reset)
+// but echoes our value back — the sender is freshly reset and owed a
+// re-offer under our newer generation.
+func (r *rank) handleInvalidate(ev *Event) {
+	wp := r.eng.witness[ev.Algo]
+	if wp == nil {
+		return
+	}
+	slot, ok := r.store.SlotOf(ev.To)
+	if !ok {
+		return
+	}
+	r.growValues(slot)
+	own := r.genOf(ev.Algo, slot)
+	switch {
+	case own < ev.Gen:
+		r.visit(wp, ev.Algo, slot, ev.To, ev.Seq, ev.Gen)
+	case own > ev.Gen:
+		if w, present := r.store.EdgeWeight(slot, ev.From); present {
+			r.emit(Event{Kind: KindUpdate, Algo: ev.Algo, Seq: ev.Seq, Gen: own,
+				To: ev.From, From: ev.To, Val: r.values[ev.Algo][slot], W: w})
+		}
+		return
+	}
+	w, present := r.store.EdgeWeight(slot, ev.From)
+	if !present {
+		return
+	}
+	before := r.values[ev.Algo][slot]
+	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
+	r.eng.programs[ev.Algo].OnUpdate(&ctx, ev.From, ev.Val, w)
+	r.recordWitness(wp, ev, slot, before)
+}
+
+// solicit answers a stale-generation value offer: an INVALIDATE back to
+// the sender carrying our generation and value. An unvisited sender is
+// pulled into the cascade (visit: reset plus flood — it would have been
+// reached by the flood over this same edge anyway); a visited one applies
+// our value and its own re-offer has either already flooded or arrives as
+// ordinary updates. Either way the value exchange this edge owes
+// completes under the new generation.
+func (r *rank) solicit(ev *Event, slot graph.Slot, gen uint32) {
+	w, present := r.store.EdgeWeight(slot, ev.From)
+	if !present {
+		return
+	}
+	r.emit(Event{Kind: KindInvalidate, Algo: ev.Algo, Seq: ev.Seq, Gen: gen,
+		To: ev.From, From: ev.To, Val: r.values[ev.Algo][slot], W: w})
+}
+
+// witnessDelete classifies one endpoint of an edge deletion for a witness
+// program and starts the invalidation cascade when any lane was supported
+// by the removed neighbour. Safe deletions (the overwhelming majority on
+// real churn) end here, costing one witness probe.
+func (r *rank) witnessDelete(wp WitnessProgram, algo uint8, slot graph.Slot, ev *Event) {
+	if r.eng.simSkipInvalidate {
+		return
+	}
+	if r.unsafeLanes(algo, slot, ev.From) != 0 {
+		r.invalidate(wp, algo, slot, ev.To, ev.Seq)
+	}
 }
 
 // process dispatches one event. The in-flight decrement is batched in
@@ -615,6 +825,8 @@ func (r *rank) process(ev *Event) {
 		r.handleReverseDelete(ev)
 	case KindSignal:
 		r.handleSignal(ev)
+	case KindInvalidate:
+		r.handleInvalidate(ev)
 	}
 	r.pendingDec[ev.Seq&3]++
 	// Retire strictly after the dispatch emitted (and trace-registered) all
@@ -667,7 +879,8 @@ func (r *rank) handleAdd(ev *Event) {
 		}
 		for a := range r.eng.programs {
 			r.emit(Event{Kind: KindReverseAdd, Algo: uint8(a), Seq: ev.Seq,
-				To: ev.From, From: ev.To, Val: r.values[a][slot], W: ev.W})
+				Gen: r.genOf(uint8(a), slot),
+				To:  ev.From, From: ev.To, Val: r.values[a][slot], W: ev.W})
 			if r.dualRun(ev.Seq, uint8(a)) {
 				// The reverse-add above carries the live value, which may
 				// already be converged past the snapshot prefix; the
@@ -691,8 +904,34 @@ func (r *rank) handleReverseAdd(ev *Event) {
 		return
 	}
 	p := r.eng.programs[ev.Algo]
+	wp := r.eng.witness[ev.Algo]
+	if wp != nil {
+		// The reverse edge is inserted above regardless, but a carried
+		// value from a generation below ours may be supported by an
+		// already-deleted edge: skip the callback and solicit a re-offer
+		// instead (the value exchange this edge owes still happens, under
+		// the fresh generation).
+		if gen := r.genOf(ev.Algo, slot); ev.Gen < gen {
+			r.solicit(ev, slot, gen)
+			return
+		} else if ev.Gen > gen {
+			// A newly inserted edge can deliver a newer generation ahead of
+			// any flood (the flood only covered edges alive at visit time):
+			// visit before accepting, same as handleUpdate's guard. The
+			// flood emitted here travels the fresh reverse edge too, so the
+			// cascade's coverage extends to topology added mid-flight.
+			r.visit(wp, ev.Algo, slot, ev.To, ev.Seq, ev.Gen)
+		}
+	}
+	var before uint64
+	if wp != nil {
+		before = r.values[ev.Algo][slot]
+	}
 	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
 	p.OnReverseAdd(&ctx, ev.From, ev.Val, ev.W)
+	if wp != nil {
+		r.recordWitness(wp, ev, slot, before)
+	}
 	if r.dualRun(ev.Seq, ev.Algo) {
 		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
 		p.OnReverseAdd(&pctx, ev.From, ev.Val, ev.W)
@@ -723,8 +962,44 @@ func (r *rank) handleUpdate(ev *Event) {
 		r.growValues(slot)
 	}
 	p := r.eng.programs[ev.Algo]
+	wp := r.eng.witness[ev.Algo]
+	if wp != nil {
+		// Live-edge guard: under deletions a value may only be accepted
+		// over an edge that still exists — an UPDATE that raced the
+		// deletion of its own edge would smuggle the doomed value back in.
+		// (Witness programs run undirected, so the reverse edge is always
+		// locally visible; this guard is why directed mode keeps witness
+		// deletion off.)
+		if _, present := r.store.EdgeWeight(slot, ev.From); !present {
+			return
+		}
+		if gen := r.genOf(ev.Algo, slot); ev.Gen < gen {
+			// Stale generation: the value may predate our invalidation.
+			// Drop it, but ask the sender to re-offer under our generation
+			// — unconditionally dropping could lose the last offer of a
+			// still-valid value.
+			r.solicit(ev, slot, gen)
+			return
+		} else if ev.Gen > gen {
+			// A value stamped with a cascade we have not been visited by.
+			// Visit first (reset witnessed lanes, adopt the generation,
+			// flood onward): accepting the value while merely bumping our
+			// generation would let our untouched stale lanes re-emit under
+			// it, laundering doomed values past other vertices' guards —
+			// and absorbing the later flood arrival without forwarding it
+			// would leave our witness children uncovered.
+			r.visit(wp, ev.Algo, slot, ev.To, ev.Seq, ev.Gen)
+		}
+	}
+	var before uint64
+	if wp != nil {
+		before = r.values[ev.Algo][slot]
+	}
 	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
 	p.OnUpdate(&ctx, ev.From, ev.Val, ev.W)
+	if wp != nil {
+		r.recordWitness(wp, ev, slot, before)
+	}
 	if r.dualRun(ev.Seq, ev.Algo) {
 		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
 		p.OnUpdate(&pctx, ev.From, ev.Val, ev.W)
@@ -737,8 +1012,19 @@ func (r *rank) handleInit(ev *Event) {
 		r.growValues(slot)
 	}
 	p := r.eng.programs[ev.Algo]
+	wp := r.eng.witness[ev.Algo]
+	var before uint64
+	if wp != nil {
+		before = r.values[ev.Algo][slot]
+	}
 	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
 	p.Init(&ctx)
+	if wp != nil {
+		// Init progress is self-supported (the paper's external
+		// instantiation, not an edge traversal): no edge deletion may ever
+		// doom it, so the improved lanes carry no witness.
+		r.clearWitness(wp, ev.Algo, slot, before)
+	}
 	if r.dualRun(ev.Seq, ev.Algo) {
 		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
 		p.Init(&pctx)
@@ -762,6 +1048,12 @@ func (r *rank) handleDelete(ev *Event) {
 	if ok {
 		r.growValues(slot)
 		for a, p := range r.eng.programs {
+			if wp := r.eng.witness[a]; wp != nil {
+				// Witness programs use the safe/unsafe classification
+				// instead of a program-level delete callback.
+				r.witnessDelete(wp, uint8(a), slot, ev)
+				continue
+			}
 			da, isDA := p.(DeleteAware)
 			if !isDA {
 				continue
@@ -802,6 +1094,11 @@ func (r *rank) handleReverseDelete(ev *Event) {
 	if !ok {
 		return
 	}
+	if wp := r.eng.witness[ev.Algo]; wp != nil {
+		r.growValues(slot)
+		r.witnessDelete(wp, ev.Algo, slot, ev)
+		return
+	}
 	if da, isDA := r.eng.programs[ev.Algo].(DeleteAware); isDA {
 		ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
 		da.OnReverseDelete(&ctx, ev.From, ev.Val, ev.W)
@@ -817,8 +1114,17 @@ func (r *rank) handleSignal(ev *Event) {
 	if created {
 		r.growValues(slot)
 	}
+	wp := r.eng.witness[ev.Algo]
+	var before uint64
+	if wp != nil {
+		before = r.values[ev.Algo][slot]
+	}
 	ctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewLive)
 	sa.OnSignal(&ctx, ev.Val)
+	if wp != nil {
+		// Signal progress is external input, self-supported like Init.
+		r.clearWitness(wp, ev.Algo, slot, before)
+	}
 	if r.dualRun(ev.Seq, ev.Algo) {
 		pctx := r.ctx(ev.Algo, slot, ev.To, ev.Seq, viewPrev)
 		sa.OnSignal(&pctx, ev.Val)

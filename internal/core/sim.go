@@ -326,6 +326,14 @@ func (d *SimDriver) SetBatchMutation(fn func(batch []Event)) {
 	d.e.simMutateBatch = fn
 }
 
+// SetSkipInvalidate (mutation testing) disables the witness classification
+// on deletion: edges are removed from the topology but dependent values are
+// never invalidated. The post-delete differential oracle must catch the
+// stale state this leaves behind.
+func (d *SimDriver) SetSkipInvalidate(skip bool) {
+	d.e.simSkipInvalidate = skip
+}
+
 // SetCombine replaces program algo's Combine hook (mutation testing: a
 // non-monotone combine must be caught by the merge checker or the final
 // differential). The coalescers share the engine's combine table, so the

@@ -32,9 +32,13 @@ import (
 // another process (the engine disables the sampler in distributed mode).
 
 const (
-	wireMagic0  = 'I'
-	wireMagic1  = 'G'
-	wireVersion = 1
+	wireMagic0 = 'I'
+	wireMagic1 = 'G'
+	// wireVersion 2 widened the event encoding with the witness-generation
+	// tag (Gen u32) and admitted KindInvalidate; v1 peers are rejected at
+	// the frame header, which is the right failure mode for a homogeneous
+	// cluster launched from one binary.
+	wireVersion = 2
 
 	// frameHeaderSize is magic(2) + version(1) + type(1) + length(4).
 	frameHeaderSize = 8
@@ -44,8 +48,8 @@ const (
 	maxFramePayload = 4 << 20
 
 	// eventWireSize is the fixed encoding of one Event: To(8) From(8)
-	// Val(8) W(4) Seq(4) Kind(1) Algo(1); Trace is stripped.
-	eventWireSize = 34
+	// Val(8) W(4) Seq(4) Kind(1) Algo(1) Gen(4); Trace is stripped.
+	eventWireSize = 38
 
 	// maxWireNodes bounds the node count a HELLO/ROSTER/REPORT may claim;
 	// maxWireAddr bounds one advertised listen address.
@@ -169,14 +173,15 @@ func readFrame(r io.Reader, buf []byte) (frameType, []byte, []byte, error) {
 	return ft, buf, buf, nil
 }
 
-// appendEvent appends ev's 34-byte wire form (Trace stripped).
+// appendEvent appends ev's 38-byte wire form (Trace stripped).
 func appendEvent(dst []byte, ev *Event) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.To))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.From))
 	dst = binary.LittleEndian.AppendUint64(dst, ev.Val)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(ev.W))
 	dst = binary.LittleEndian.AppendUint32(dst, ev.Seq)
-	return append(dst, byte(ev.Kind), ev.Algo)
+	dst = append(dst, byte(ev.Kind), ev.Algo)
+	return binary.LittleEndian.AppendUint32(dst, ev.Gen)
 }
 
 // parseEvent decodes one event from exactly eventWireSize bytes.
@@ -189,7 +194,10 @@ func parseEvent(b []byte) (Event, error) {
 	ev.Seq = binary.LittleEndian.Uint32(b[28:32])
 	ev.Kind = Kind(b[32])
 	ev.Algo = b[33]
-	if ev.Kind > KindSignal {
+	ev.Gen = binary.LittleEndian.Uint32(b[34:38])
+	// REVERSE_ADD_PREV never crosses the wire (snapshots are in-process
+	// only); INVALIDATE does.
+	if ev.Kind > KindInvalidate || ev.Kind == KindReverseAddPrev {
 		return Event{}, fmt.Errorf("wire: invalid event kind %d", b[32])
 	}
 	return ev, nil

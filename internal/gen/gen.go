@@ -242,6 +242,73 @@ func weight(rng *rand.Rand, maxWeight uint32) graph.Weight {
 	return graph.Weight(rng.Int31n(int32(maxWeight))) + 1
 }
 
+// Churn interleaves edge deletions — and occasional re-adds of deleted
+// pairs — into an add-only edge sequence, producing the event stream the
+// parent-witness deletion protocol ingests (DESIGN.md "Deletions").
+// deleteFrac is the add:delete mix: the probability, after each base add,
+// of emitting one delete (so deleteFrac≈0.2 yields roughly 5 adds per
+// delete). The stream honours the engine's deletion obligations by
+// construction: only currently-alive pairs are ever deleted, every event
+// for a pair uses the orientation of the pair's first appearance (deletes
+// and re-adds also reuse its first weight), and emission order is the
+// pair's total order — feed the result through SplitEventsByPair, never a
+// round-robin splitter, to keep that order per stream. Deterministic
+// given the seed.
+func Churn(edges []graph.Edge, deleteFrac float64, seed int64) []graph.EdgeEvent {
+	type pair struct {
+		src, dst graph.VertexID
+		w        graph.Weight
+		alive    bool
+	}
+	key := func(a, b graph.VertexID) [2]graph.VertexID {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]graph.VertexID{a, b}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	index := make(map[[2]graph.VertexID]*pair, len(edges))
+	var alive, dead []*pair
+	out := make([]graph.EdgeEvent, 0, len(edges)+int(float64(len(edges))*deleteFrac)+1)
+	for _, e := range edges {
+		p := index[key(e.Src, e.Dst)]
+		if p == nil {
+			p = &pair{src: e.Src, dst: e.Dst, w: e.W}
+			index[key(e.Src, e.Dst)] = p
+		}
+		if !p.alive {
+			p.alive = true
+			alive = append(alive, p)
+		}
+		out = append(out, graph.EdgeEvent{Edge: graph.Edge{Src: p.src, Dst: p.dst, W: e.W}})
+		if deleteFrac <= 0 {
+			continue
+		}
+		if len(dead) > 0 && rng.Float64() < deleteFrac/4 {
+			// Re-add a deleted pair: the delete → re-add → value-exchange
+			// races are the protocol's hardest interleavings.
+			i := rng.Intn(len(dead))
+			p := dead[i]
+			dead[i] = dead[len(dead)-1]
+			dead = dead[:len(dead)-1]
+			p.alive = true
+			alive = append(alive, p)
+			out = append(out, graph.EdgeEvent{Edge: graph.Edge{Src: p.src, Dst: p.dst, W: p.w}})
+		}
+		if len(alive) > 0 && rng.Float64() < deleteFrac {
+			i := rng.Intn(len(alive))
+			p := alive[i]
+			alive[i] = alive[len(alive)-1]
+			alive = alive[:len(alive)-1]
+			p.alive = false
+			dead = append(dead, p)
+			out = append(out, graph.EdgeEvent{
+				Edge: graph.Edge{Src: p.src, Dst: p.dst, W: p.w}, Delete: true})
+		}
+	}
+	return out
+}
+
 // Shuffle returns a seeded random permutation of edges (the paper
 // pre-randomizes edge order before ingestion, §V-A). The input is not
 // modified.

@@ -35,11 +35,11 @@ func (k cellKey) String() string {
 
 // CompareBenchReports diffs a current bench report against a committed
 // baseline and returns one human-readable failure per regression (empty
-// slice = pass). It understands schema 2 through 4 baselines — a schema-2
-// baseline simply has no mixed cell to match, and pre-4 baselines have no
-// storage-tier fields (which the gate does not compare anyway) — but the
-// current report must be schema 4. Cells present in only one report are
-// not failures: the
+// slice = pass). It understands schema 2 through 5 baselines — a schema-2
+// baseline simply has no mixed cell to match, pre-4 baselines have no
+// storage-tier fields (which the gate does not compare anyway), and pre-5
+// baselines have no churn cell — but the current report must be schema 5.
+// Cells present in only one report are not failures: the
 // baseline ages as the sweep grows, and CI should fail on regressions, not
 // on coverage drift (those show up in review as the committed baseline is
 // regenerated).
@@ -67,11 +67,11 @@ func (k cellKey) String() string {
 // the serving plane must clear its throughput target outright, every run.
 func CompareBenchReports(baseline, current *BenchReport, opts CompareOptions) []string {
 	var fails []string
-	if baseline.Schema < 2 || baseline.Schema > 4 {
-		return []string{fmt.Sprintf("baseline schema %d not understood (want 2-4)", baseline.Schema)}
+	if baseline.Schema < 2 || baseline.Schema > 5 {
+		return []string{fmt.Sprintf("baseline schema %d not understood (want 2-5)", baseline.Schema)}
 	}
-	if current.Schema != 4 {
-		return []string{fmt.Sprintf("current schema %d not understood (want 4)", current.Schema)}
+	if current.Schema != 5 {
+		return []string{fmt.Sprintf("current schema %d not understood (want 5)", current.Schema)}
 	}
 	if baseline.Scale != current.Scale || baseline.EdgeFactor != current.EdgeFactor {
 		return []string{fmt.Sprintf(

@@ -11,7 +11,7 @@ func cmpOpts() CompareOptions {
 
 func baseReport() *BenchReport {
 	return &BenchReport{
-		Schema: 4, Scale: 10, EdgeFactor: 8, GoMaxProcs: 1,
+		Schema: 5, Scale: 10, EdgeFactor: 8, GoMaxProcs: 1,
 		Results: []BenchResult{
 			{Dataset: "twitter-sim", Algo: "CC", Ranks: 2, EventsPerSec: 1e6,
 				LatencySamples: 16, LatP99Nanos: 1_000_000},
@@ -89,7 +89,7 @@ func TestCompareBenchReportsSchema2Baseline(t *testing.T) {
 	if fails := CompareBenchReports(b, cur, cmpOpts()); len(fails) != 0 {
 		t.Fatalf("schema-2 baseline should compare clean, got %v", fails)
 	}
-	b.Schema = 5
+	b.Schema = 6
 	fails := CompareBenchReports(b, cur, cmpOpts())
 	if len(fails) != 1 || !strings.Contains(fails[0], "baseline schema") {
 		t.Fatalf("want schema rejection, got %v", fails)

@@ -54,6 +54,15 @@ type BenchResult struct {
 	Compactions  uint64  `json:"compactions,omitempty"`
 	DeltaHitRate float64 `json:"delta_hit_rate,omitempty"`
 	BytesPerEdge float64 `json:"bytes_per_edge,omitempty"`
+	// Churn workload (schema 5): present only on the "churn" Scenario cell
+	// — live deletions interleaved into the stream (gen.Churn), exercising
+	// the parent-witness invalidation protocol. Deletes counts delete
+	// events processed; Invalidations counts INVALIDATE cascade steps, and
+	// InvPerDelete is their ratio — the protocol's amplification gauge
+	// (safe deletes cost zero; unsafe ones flood their component).
+	Deletes       uint64  `json:"deletes,omitempty"`
+	Invalidations uint64  `json:"invalidations,omitempty"`
+	InvPerDelete  float64 `json:"inv_per_delete,omitempty"`
 }
 
 // BenchReport is the machine-readable form of the Figure 5 sweep,
@@ -106,7 +115,7 @@ func BenchJSON(cfg Config, repeat int, agg Aggregate) *BenchReport {
 	}
 	cfg = cfg.withDefaults()
 	rep := &BenchReport{
-		Schema:     4,
+		Schema:     5,
 		Scale:      cfg.Scale,
 		EdgeFactor: cfg.EdgeFactor,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -186,6 +195,16 @@ func BenchJSON(cfg Config, repeat int, agg Aggregate) *BenchReport {
 		mixedRates = append(mixedRates, res.LookupsPerSec)
 	}
 	rep.Results = append(rep.Results, mixedRuns[pick(mixedRates)])
+	// Schema 5 adds the churn cell: the same ingest saturation but with
+	// live deletions interleaved, gating the deletion protocol's cost.
+	churnRuns := make([]BenchResult, 0, repeat)
+	churnRates := make([]float64, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		res := ChurnBench(cfg)
+		churnRuns = append(churnRuns, res)
+		churnRates = append(churnRates, res.EventsPerSec)
+	}
+	rep.Results = append(rep.Results, churnRuns[pick(churnRates)])
 	return rep
 }
 

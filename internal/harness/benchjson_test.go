@@ -17,21 +17,28 @@ func TestBenchJSONQuick(t *testing.T) {
 	cfg := Config{Quick: true, Ranks: []int{1, 2}}
 	rep := BenchJSON(cfg, 1, AggBest)
 
-	// Full sweep plus the schema-3 mixed read/write cell.
-	want := len(Datasets(cfg))*len(Algorithms())*len(cfg.Ranks) + 1
+	// Full sweep plus the schema-3 mixed cell and the schema-5 churn cell.
+	want := len(Datasets(cfg))*len(Algorithms())*len(cfg.Ranks) + 2
 	if len(rep.Results) != want {
 		t.Fatalf("report has %d results, want %d", len(rep.Results), want)
 	}
-	if rep.Schema != 4 || rep.Scale != 10 || rep.EdgeFactor != 8 {
+	if rep.Schema != 5 || rep.Scale != 10 || rep.EdgeFactor != 8 {
 		t.Fatalf("report header = %+v", rep)
 	}
-	var mixed int
+	var mixed, churn int
 	var combined, compactions uint64
 	for _, r := range rep.Results {
 		if r.Scenario == "mixed" {
 			mixed++
 			if r.Lookups == 0 || r.LookupsPerSec <= 0 || r.Readers == 0 {
 				t.Fatalf("mixed cell has no read side: %+v", r)
+			}
+			continue
+		}
+		if r.Scenario == "churn" {
+			churn++
+			if r.Deletes == 0 || r.EventsPerSec <= 0 {
+				t.Fatalf("churn cell streamed no deletes: %+v", r)
 			}
 			continue
 		}
@@ -64,6 +71,9 @@ func TestBenchJSONQuick(t *testing.T) {
 	}
 	if mixed != 1 {
 		t.Fatalf("want exactly one mixed cell, got %d", mixed)
+	}
+	if churn != 1 {
+		t.Fatalf("want exactly one churn cell, got %d", churn)
 	}
 
 	// The report must round-trip as JSON (the only consumer is tooling).

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"incregraph/internal/algo"
+	"incregraph/internal/core"
+	"incregraph/internal/gen"
+	"incregraph/internal/stream"
+)
+
+// churnDeleteFrac is the add:delete mix of the churn cell — one delete per
+// five adds, heavy enough that invalidation cascades dominate neither the
+// noise floor nor the runtime.
+const churnDeleteFrac = 0.2
+
+// ChurnBench runs the schema-5 churn cell: CC over the twitter-sim stream
+// with live deletions (and occasional re-adds) interleaved by gen.Churn,
+// split per endpoint pair so every rank ingests deletions concurrently.
+// The cell gates on ingest throughput like the plain cells — quantifying
+// the deletion protocol's drag — and records the protocol's own meters:
+// deletes processed, INVALIDATE cascade steps, and their ratio.
+func ChurnBench(cfg Config) BenchResult {
+	cfg = cfg.withDefaults()
+	d := TwitterSim(cfg)
+	events := gen.Churn(d.Edges(), churnDeleteFrac, 7)
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+
+	e := core.New(core.Options{
+		Ranks:      ranks,
+		Undirected: true,
+		NoHybrid:   cfg.NoHybrid,
+		AutoTune:   cfg.AutoTune,
+	}, algo.CC{})
+
+	stats, err := e.Run(stream.SplitEventsByPair(events, ranks))
+	if err != nil {
+		panic(err)
+	}
+	es := e.EngineStats()
+	res := BenchResult{
+		Dataset:       d.Name,
+		Algo:          "CC",
+		Ranks:         ranks,
+		Scenario:      "churn",
+		DurationMS:    float64(stats.Duration.Microseconds()) / 1e3,
+		EventsPerSec:  stats.EventsPerSec,
+		TopoEvents:    es.Events.Topo(),
+		AlgoEvents:    es.Events.Algo(),
+		MessagesSent:  es.MessagesSent,
+		SelfDelivered: es.SelfDelivered,
+		CombinedAway:  es.CombinedAway,
+		EvPerFlush:    es.BatchingFactor(),
+		Deletes:       es.Events.Deletes,
+		Invalidations: es.Events.Invalidates,
+	}
+	if res.TopoEvents > 0 {
+		res.EventsPerTopo = float64(es.Events.Total()) / float64(res.TopoEvents)
+	}
+	if res.Deletes > 0 {
+		res.InvPerDelete = float64(res.Invalidations) / float64(res.Deletes)
+	}
+	if h := es.Latency.IngestToQuiesce; h.Count > 0 {
+		res.LatencySamples = h.Count
+		res.LatP50Nanos = int64(h.Quantile(0.50))
+		res.LatP99Nanos = int64(h.Quantile(0.99))
+		res.LatP999Nanos = int64(h.Quantile(0.999))
+	}
+	return res
+}

@@ -69,6 +69,7 @@ var promKinds = []struct {
 	{core.KindDelete, "delete"},
 	{core.KindReverseDelete, "reverse_delete"},
 	{core.KindSignal, "signal"},
+	{core.KindInvalidate, "invalidate"},
 }
 
 func kindCount(c core.EventCounts, k core.Kind) uint64 {
@@ -87,6 +88,8 @@ func kindCount(c core.EventCounts, k core.Kind) uint64 {
 		return c.ReverseDeletes
 	case core.KindSignal:
 		return c.Signals
+	case core.KindInvalidate:
+		return c.Invalidates
 	}
 	return 0
 }

@@ -56,6 +56,14 @@ type checker struct {
 	d     *core.SimDriver
 	ord   order
 	ranks int
+	// churn relaxes the checks that assume values only ever move forward:
+	// with live deletions a witness invalidation legitimately regresses a
+	// vertex between two observations. Structural invariants (FIFO,
+	// conservation, versioning, lineage exactness) and the upper bounds
+	// (full-stream fixpoint, fabrication) stay fully armed; only the
+	// between-observation regression checks, the publish-time floor, and
+	// the final-subsumes-queries check stand down.
+	churn bool
 
 	violations []string
 	// fifo[{sender,dest}] is the shadow queue of events flushed from
@@ -181,7 +189,7 @@ func (c *checker) observeQuery(v graph.VertexID, res core.QueryResult) {
 	if !res.Exists {
 		return
 	}
-	if seen && !c.ord.subsumes(res.Value, prev) {
+	if seen && !c.churn && !c.ord.subsumes(res.Value, prev) {
 		c.violatef("query: vertex %d regressed from %d to %d between observations", v, prev, res.Value)
 	}
 	c.lastQuery[v] = res.Value
@@ -204,7 +212,7 @@ func (c *checker) observeServe(v graph.VertexID, val serve.Value, epoch uint64) 
 		c.violatef("serve: vertex %d was published (value %d) and then vanished", v, prev.val)
 	}
 	if val.Found {
-		if seen && prev.found && !c.ord.subsumes(val.Val, prev.val) {
+		if seen && prev.found && !c.churn && !c.ord.subsumes(val.Val, prev.val) {
 			c.violatef("serve: vertex %d regressed from %d to %d between reads", v, prev.val, val.Val)
 		}
 		full, exists := c.fullOracle[v]
@@ -254,7 +262,9 @@ func (c *checker) finalChecks(final map[graph.VertexID]uint64) {
 			c.violatef("final: vertex %d was observed at %d but is absent from the final state", v, c.lastQuery[v])
 			continue
 		}
-		if !c.ord.subsumes(fv, c.lastQuery[v]) {
+		// A mid-run query can legitimately outrun the final state when a
+		// later deletion took its path away.
+		if !c.churn && !c.ord.subsumes(fv, c.lastQuery[v]) {
 			c.violatef("final: vertex %d finished at %d, behind the %d a mid-run query observed", v, fv, c.lastQuery[v])
 		}
 	}
@@ -356,12 +366,44 @@ type monitoredCombiner struct {
 
 func (m monitoredCombiner) Combine(old, new uint64) uint64 { return m.comb.Combine(old, new) }
 
-// monitor wraps p with monotonicity checking, preserving its Combiner
-// implementation if it has one.
+// monitoredWitness additionally forwards the WitnessProgram hooks, so
+// wrapping does not silently disable the deletion protocol. Reseed
+// deliberately bypasses the monotone guard: a witness reset legitimately
+// regresses the vertex, and the post-delete differential oracle (not the
+// per-callback guard) is what validates it.
+type monitoredWitness struct {
+	monitored
+	wit core.WitnessProgram
+}
+
+func (m monitoredWitness) WitnessLanes() int { return m.wit.WitnessLanes() }
+func (m monitoredWitness) ChangedLanes(before, after uint64) uint64 {
+	return m.wit.ChangedLanes(before, after)
+}
+func (m monitoredWitness) Reseed(ctx *core.Ctx, lanes uint64) { m.wit.Reseed(ctx, lanes) }
+
+// monitoredWitnessCombiner carries both optional interfaces.
+type monitoredWitnessCombiner struct {
+	monitoredWitness
+	comb core.Combiner
+}
+
+func (m monitoredWitnessCombiner) Combine(old, new uint64) uint64 { return m.comb.Combine(old, new) }
+
+// monitor wraps p with monotonicity checking, preserving its Combiner and
+// WitnessProgram implementations if it has them.
 func monitor(p core.Program, chk *checker) core.Program {
 	m := monitored{inner: p, chk: chk}
-	if comb, ok := p.(core.Combiner); ok {
-		return monitoredCombiner{monitored: m, comb: comb}
+	comb, hasComb := p.(core.Combiner)
+	wit, hasWit := p.(core.WitnessProgram)
+	switch {
+	case hasComb && hasWit:
+		return monitoredWitnessCombiner{monitoredWitness{m, wit}, comb}
+	case hasWit:
+		return monitoredWitness{m, wit}
+	case hasComb:
+		return monitoredCombiner{m, comb}
+	default:
+		return m
 	}
-	return m
 }

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"incregraph/internal/core"
+	"incregraph/internal/graph"
+	"incregraph/internal/stream"
+)
+
+// churnStream is an appendable, pollable event stream (stream.Live): the
+// scheduler grows it with delete/re-add events while ranks are already
+// pulling from it. An open-but-empty stream reports "nothing yet" rather
+// than exhaustion, so a rank keeps polling until the scheduler closes the
+// stream (delete budget spent). Single-goroutine by construction — the
+// simulator owns both ends.
+type churnStream struct {
+	events []graph.EdgeEvent
+	pos    int
+	closed bool
+}
+
+// Next implements stream.Stream (unused by the sim driver, which always
+// takes the Live path, but required by the interface).
+func (s *churnStream) Next() (graph.EdgeEvent, bool) {
+	ev, ok, _ := s.TryNext()
+	return ev, ok
+}
+
+// TryNext implements stream.Live.
+func (s *churnStream) TryNext() (graph.EdgeEvent, bool, bool) {
+	if s.pos < len(s.events) {
+		ev := s.events[s.pos]
+		s.pos++
+		return ev, true, false
+	}
+	return graph.EdgeEvent{}, false, s.closed
+}
+
+// SetNotify implements stream.Live; the simulator polls, so wakeups are
+// meaningless.
+func (s *churnStream) SetNotify(func()) {}
+
+// churnPair is one unordered endpoint pair the stream has carried. The
+// orientation and weight of its first appearance are canonical: every
+// later delete and re-add of the pair reuses them, satisfying the engine's
+// delete ordering obligations (same-stream, same-orientation) and keeping
+// the full-stream fixpoint a sound upper bound (re-adds never introduce a
+// weight the base stream did not already offer).
+type churnPair struct {
+	src, dst graph.VertexID
+	w        graph.Weight
+	home     int // stream index all events for this pair ride on
+	alive    bool
+}
+
+// churnState is the scheduler's view of a delete-enabled run: the per-rank
+// appendable streams, every pair ever streamed (insertion-ordered, for
+// deterministic random picks), and the remaining delete-action budget.
+type churnState struct {
+	streams  []*churnStream
+	pairs    []*churnPair
+	appended int // churn events appended beyond the base adds
+	deletes  int // delete events appended
+	budget   int
+}
+
+func pairKey(a, b graph.VertexID) [2]graph.VertexID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]graph.VertexID{a, b}
+}
+
+// newChurnState pre-places the base adds onto per-rank streams keyed by
+// the pair's canonical source (replacing round-robin splitting: a pair's
+// adds, deletes, and re-adds must share one totally-ordered stream), with
+// every event rewritten to the pair's canonical orientation.
+func newChurnState(edges []graph.Edge, ranks, budget int) *churnState {
+	ch := &churnState{streams: make([]*churnStream, ranks), budget: budget}
+	for i := range ch.streams {
+		ch.streams[i] = &churnStream{}
+	}
+	index := make(map[[2]graph.VertexID]*churnPair, len(edges))
+	for _, e := range edges {
+		k := pairKey(e.Src, e.Dst)
+		p := index[k]
+		if p == nil {
+			p = &churnPair{src: e.Src, dst: e.Dst, w: e.W, home: int((e.Src + e.Dst) % graph.VertexID(ranks))}
+			index[k] = p
+			ch.pairs = append(ch.pairs, p)
+		}
+		p.alive = true
+		ch.streams[p.home].events = append(ch.streams[p.home].events,
+			graph.EdgeEvent{Edge: graph.Edge{Src: p.src, Dst: p.dst, W: e.W}})
+	}
+	return ch
+}
+
+// step spends one unit of delete budget: usually a delete of a random
+// alive pair, occasionally a re-add of a dead one (exercising the
+// delete → re-add → value-exchange races). The budget decrements even when
+// no pair is eligible, so the action set always drains; at zero every
+// stream is closed and ranks run the tail to quiescence.
+func (ch *churnState) step(pick func(n int) int) {
+	ch.budget--
+	defer func() {
+		if ch.budget == 0 {
+			for _, s := range ch.streams {
+				s.closed = true
+			}
+		}
+	}()
+	var alive, dead []*churnPair
+	for _, p := range ch.pairs {
+		if p.alive {
+			alive = append(alive, p)
+		} else {
+			dead = append(dead, p)
+		}
+	}
+	if len(dead) > 0 && (len(alive) == 0 || pick(4) == 0) {
+		p := dead[pick(len(dead))]
+		p.alive = true
+		ch.streams[p.home].events = append(ch.streams[p.home].events,
+			graph.EdgeEvent{Edge: graph.Edge{Src: p.src, Dst: p.dst, W: p.w}})
+		ch.appended++
+		return
+	}
+	if len(alive) == 0 {
+		return
+	}
+	p := alive[pick(len(alive))]
+	p.alive = false
+	ch.streams[p.home].events = append(ch.streams[p.home].events,
+		graph.EdgeEvent{Edge: graph.Edge{Src: p.src, Dst: p.dst, W: p.w}, Delete: true})
+	ch.appended++
+	ch.deletes++
+}
+
+// edgesOf projects the add events of a pulled prefix (all of them, on
+// add-only runs) back to plain edges for the static oracles.
+func edgesOf(pulled []graph.EdgeEvent) []graph.Edge {
+	out := make([]graph.Edge, 0, len(pulled))
+	for _, ev := range pulled {
+		if !ev.Delete {
+			out = append(out, ev.Edge)
+		}
+	}
+	return out
+}
+
+// churnFinalOracle is the post-delete differential oracle: a static
+// recomputation over the surviving edge multiset. A delete kills a pair
+// outright (the store removes the adjacency entry, not one multiplicity),
+// so the survivors of each pair are its adds after its last delete — well
+// defined because a pair's events share one stream and are therefore
+// totally ordered in pull order. Vertices outlive their edges: an endpoint
+// whose every edge was deleted still exists, at the value its witness
+// reseed restores (the program's bottom; its own label for CC).
+func churnFinalOracle(sp spec, w *world, pulled []graph.EdgeEvent, inited []graph.VertexID) map[graph.VertexID]uint64 {
+	adds := make(map[[2]graph.VertexID][]graph.Edge)
+	var order [][2]graph.VertexID
+	for _, ev := range pulled {
+		k := pairKey(ev.Src, ev.Dst)
+		if _, seen := adds[k]; !seen {
+			order = append(order, k)
+		}
+		if ev.Delete {
+			adds[k] = []graph.Edge{}
+		} else {
+			adds[k] = append(adds[k], ev.Edge)
+		}
+	}
+	var surviving []graph.Edge
+	for _, k := range order {
+		surviving = append(surviving, adds[k]...)
+	}
+	m := sp.oracle(w, surviving, inited)
+	for _, ev := range pulled {
+		for _, v := range [2]graph.VertexID{ev.Src, ev.Dst} {
+			if _, ok := m[v]; ok {
+				continue
+			}
+			switch {
+			case sp.name == "cc":
+				m[v] = graph.CCLabel(v)
+			case sp.ord == orderDescend:
+				m[v] = core.Infinity
+			}
+			// Ascending and bitmask programs bottom out at zero, which the
+			// omitZero comparison already treats as absent.
+		}
+	}
+	return m
+}
+
+// churnStreams adapts the concrete streams to the engine's interface.
+func (ch *churnState) churnStreams() []stream.Stream {
+	out := make([]stream.Stream, len(ch.streams))
+	for i, s := range ch.streams {
+		out[i] = s
+	}
+	return out
+}

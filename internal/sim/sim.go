@@ -44,6 +44,11 @@ const (
 	// MutateCombine replaces the coalescer's combine with a keep-worse
 	// merge — coalescing silently discards algorithmic progress.
 	MutateCombine
+	// MutateSkipInvalidate disables the witness classification on deletes:
+	// edges leave the topology but the values they supported are never
+	// invalidated. The post-delete differential oracle must catch the
+	// stale state this leaves behind (requires Config.Deletes > 0).
+	MutateSkipInvalidate
 )
 
 // Config parameterizes one simulated run.
@@ -64,8 +69,17 @@ type Config struct {
 	// engine default).
 	BatchSize int
 	// Snapshots is how many asynchronous snapshots the scheduler requests
-	// and differentially checks (default 1).
+	// and differentially checks (default 1; forced to 0 when Deletes > 0 —
+	// the snapshot sandwich assumes an add-only prefix order).
 	Snapshots int
+	// Deletes is the churn budget: how many scheduler actions may mutate
+	// the live stream with an edge deletion (or, occasionally, a re-add of
+	// a previously deleted pair). 0 keeps the classic add-only run. With
+	// deletes the base adds move to per-pair-keyed appendable streams, the
+	// final differential oracle becomes a static recompute over the
+	// surviving edge multiset, and the mid-run regression checks that
+	// assume monotone-only progress are relaxed (see checker.churn).
+	Deletes int
 	// Edges, when non-empty, replaces the generated edge stream (used by
 	// the fuzz target to let the fuzzer shape the graph directly).
 	Edges []graph.Edge
@@ -109,7 +123,7 @@ func (c Config) withDefaults() Config {
 	if c.Snapshots == 0 {
 		c.Snapshots = 1
 	}
-	if c.Snapshots < 0 {
+	if c.Snapshots < 0 || c.Deletes > 0 {
 		c.Snapshots = 0
 	}
 	if c.CompactCap <= 0 {
@@ -150,6 +164,9 @@ type Result struct {
 	// differentially checked (the vacuity guard for the compaction
 	// checker — a sweep where this stays 0 exercised nothing).
 	Compactions int
+	// Deletes counts the edge deletions the scheduler streamed (the
+	// vacuity guard for the churn oracle — zero on add-only runs).
+	Deletes int
 	// Final is the converged state of the single program.
 	Final map[graph.VertexID]uint64
 }
@@ -175,6 +192,7 @@ const (
 	actServeEpoch                // advance the read plane's epoch (bounded budget)
 	actServePub                  // rank publishes its due serve segment
 	actCompact                   // rank compacts one queued hybrid-tier vertex
+	actDelete                    // stream one churn event (delete or re-add)
 )
 
 type action struct {
@@ -191,6 +209,7 @@ func Run(cfg Config) Result {
 	srng := rand.New(rand.NewSource(cfg.ScheduleSeed))
 
 	chk := newChecker(sp.ord, cfg.Ranks)
+	chk.churn = cfg.Deletes > 0
 	e := core.New(core.Options{
 		Ranks:        cfg.Ranks,
 		Undirected:   true,
@@ -202,7 +221,16 @@ func Run(cfg Config) Result {
 		Serve:        cfg.Serve,
 		CompactCap:   cfg.CompactCap,
 	}, monitor(sp.prog(w), chk))
-	d, err := e.StartSim(stream.Split(w.edges, cfg.Ranks))
+	// With churn the base adds move onto appendable streams keyed by pair,
+	// so a pair's delete rides the same totally-ordered stream as the add
+	// it revokes (the engine's delete ordering obligation).
+	var ch *churnState
+	srcStreams := stream.Split(w.edges, cfg.Ranks)
+	if cfg.Deletes > 0 {
+		ch = newChurnState(w.edges, cfg.Ranks, cfg.Deletes)
+		srcStreams = ch.churnStreams()
+	}
+	d, err := e.StartSim(srcStreams)
 	if err != nil {
 		chk.violatef("start: %v", err)
 		return Result{Violations: chk.violations}
@@ -220,6 +248,8 @@ func Run(cfg Config) Result {
 		})
 	case MutateCombine:
 		d.SetCombine(0, worseCombine(sp.ord))
+	case MutateSkipInvalidate:
+		d.SetSkipInvalidate(true)
 	}
 
 	// Query sampling space: every endpoint and source, plus one fresh ID.
@@ -240,9 +270,9 @@ func Run(cfg Config) Result {
 
 	res := Result{}
 	var (
-		ingested  []graph.Edge     // edges pulled so far, in pull order
-		initQueue = sp.inits(w)    // InitVertex calls still to issue
-		initsDone []graph.VertexID // InitVertex calls issued
+		pulled    []graph.EdgeEvent // topology events pulled so far, in pull order
+		initQueue = sp.inits(w)     // InitVertex calls still to issue
+		initsDone []graph.VertexID  // InitVertex calls issued
 		curSnap   *core.Snapshot
 		snapEdges []graph.Edge // ingestion prefix at the snapshot request
 		snapInits []graph.VertexID
@@ -271,6 +301,9 @@ func Run(cfg Config) Result {
 		}
 		if snapsLeft > 0 && curSnap == nil {
 			acts = append(acts, action{kind: actSnap})
+		}
+		if ch != nil && ch.budget > 0 && !paused {
+			acts = append(acts, action{kind: actDelete})
 		}
 		if epochsLeft > 0 {
 			acts = append(acts, action{kind: actServeEpoch})
@@ -314,7 +347,10 @@ func Run(cfg Config) Result {
 	}
 
 	// Upper bound for snapshot and serve checks: the fully-converged state
-	// over the whole stream and every init the run will issue.
+	// over the whole stream and every init the run will issue. Sound under
+	// churn too: deletions only take progress away, and churn re-adds reuse
+	// weights the base stream already offered, so no reachable state is
+	// ever more converged than the all-adds fixpoint.
 	var fullOracle map[graph.VertexID]uint64
 	if cfg.Serve {
 		if !d.ServeEnabled() {
@@ -346,13 +382,27 @@ func Run(cfg Config) Result {
 				stepLimit, len(enabled))
 			break
 		}
+		// A lane drain processes a whole batch, so steps alone do not bound
+		// event volume: an engine bug that amplifies cascades without limit
+		// (a delete-protocol ping-pong, say) would explode inside a bounded
+		// number of steps. Cap total processed events too.
+		if chk.processed > 200*stepLimit {
+			chk.violatef("schedule: %d events processed within %d steps (cascade amplification?)",
+				chk.processed, res.Steps)
+			break
+		}
 		res.Steps++
 		act := enabled[srng.Intn(len(enabled))]
 		switch act.kind {
 		case actPull:
 			if ev, ok := d.PullStream(act.rank); ok {
-				ingested = append(ingested, graph.Edge{Src: ev.To, Dst: ev.From, W: ev.W})
+				pulled = append(pulled, graph.EdgeEvent{
+					Edge:   graph.Edge{Src: ev.To, Dst: ev.From, W: ev.W},
+					Delete: ev.Kind == core.KindDelete,
+				})
 			}
+		case actDelete:
+			ch.step(srng.Intn)
 		case actDrain:
 			rank, lane := act.rank, act.arg
 			d.DrainLane(rank, lane, func(ev core.Event) { chk.onProcess(rank, lane, ev) })
@@ -369,7 +419,7 @@ func Run(cfg Config) Result {
 			e.InitVertex(0, v)
 			initsDone = append(initsDone, v)
 		case actSnap:
-			snapEdges = append([]graph.Edge(nil), ingested...)
+			snapEdges = edgesOf(pulled)
 			snapInits = append([]graph.VertexID(nil), initsDone...)
 			curSnap = e.SnapshotAsync(0)
 			snapsLeft--
@@ -380,7 +430,7 @@ func Run(cfg Config) Result {
 			paused = false
 		case actCkpt:
 			ckptLeft--
-			if checkpointRoundTrip(chk, "paused", e, sp, w, uint64(len(ingested))) {
+			if checkpointRoundTrip(chk, "paused", e, sp, w, uint64(len(pulled))) {
 				res.CheckpointsChecked++
 			}
 		case actServeEpoch:
@@ -392,12 +442,16 @@ func Run(cfg Config) Result {
 			// prefix — record that fixpoint as the rank's serving floor.
 			// (Sound for restamps too: a restamp means the rank processed
 			// nothing since its last publish, so segment == live values.)
+			// Churn runs record no floor: a delete after the quiescent cut
+			// legitimately pushes served values back below its fixpoint.
 			d.ServePublish(act.rank)
-			if quietEdges != floorEdges || quietInits != floorInits {
-				floorEdges, floorInits = quietEdges, quietInits
-				floorOracle = sp.oracle(w, ingested[:floorEdges], initsDone[:floorInits])
+			if ch == nil {
+				if quietEdges != floorEdges || quietInits != floorInits {
+					floorEdges, floorInits = quietEdges, quietInits
+					floorOracle = sp.oracle(w, edgesOf(pulled[:floorEdges]), initsDone[:floorInits])
+				}
+				chk.serveFloor[act.rank] = floorOracle
 			}
-			chk.serveFloor[act.rank] = floorOracle
 			res.ServePublishes++
 		case actCompact:
 			if ok, err := d.CompactOne(act.rank); err != nil {
@@ -413,7 +467,7 @@ func Run(cfg Config) Result {
 		}
 		if cfg.Serve {
 			if d.Idle() {
-				quietEdges, quietInits = len(ingested), len(initsDone)
+				quietEdges, quietInits = len(pulled), len(initsDone)
 			}
 			if srng.Intn(8) == 0 {
 				v := graph.VertexID(srng.Intn(span))
@@ -426,14 +480,23 @@ func Run(cfg Config) Result {
 	if err := d.Finish(); err != nil {
 		chk.violatef("finish: %v", err)
 	}
-	if len(ingested) != len(w.edges) {
-		chk.violatef("ingest: pulled %d of %d stream edges", len(ingested), len(w.edges))
+	expected := len(w.edges)
+	if ch != nil {
+		expected += ch.appended
+		res.Deletes = ch.deletes
 	}
-	if got := e.Ingested(); got != uint64(len(ingested)) {
-		chk.violatef("ingest: engine counted %d ingested events, scheduler saw %d", got, len(ingested))
+	if len(pulled) != expected {
+		chk.violatef("ingest: pulled %d of %d stream events", len(pulled), expected)
+	}
+	if got := e.Ingested(); got != uint64(len(pulled)) {
+		chk.violatef("ingest: engine counted %d ingested events, scheduler saw %d", got, len(pulled))
 	}
 	final := e.CollectMap(0)
-	compareStates(chk, "final", final, sp.oracle(w, ingested, initsDone), sp.omitZero)
+	finalOracle := sp.oracle(w, edgesOf(pulled), initsDone)
+	if ch != nil {
+		finalOracle = churnFinalOracle(sp, w, pulled, initsDone)
+	}
+	compareStates(chk, "final", final, finalOracle, sp.omitZero)
 	chk.finalChecks(final)
 	if cfg.Serve {
 		// A forced publish at termination (what the concurrent engine's
@@ -466,7 +529,7 @@ func Run(cfg Config) Result {
 	}
 	res.LatencySamples = e.EngineStats().Latency.IngestToQuiesce.Count
 	chk.checkLineages(res.Lineages)
-	if checkpointRoundTrip(chk, "end", e, sp, w, uint64(len(ingested))) {
+	if checkpointRoundTrip(chk, "end", e, sp, w, uint64(len(pulled))) {
 		res.CheckpointsChecked++
 	}
 

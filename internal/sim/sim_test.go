@@ -40,6 +40,42 @@ func TestSimSmoke(t *testing.T) {
 	}
 }
 
+// TestSimChurnSmoke runs one delete-enabled seed pair per algorithm, with
+// and without coalescing: live deletions (and re-adds) must leave the
+// engine exactly at the static recompute of the surviving edge multiset,
+// and the runs must not be vacuous — deletes must actually stream.
+func TestSimChurnSmoke(t *testing.T) {
+	for a := Algo(0); a < numAlgos; a++ {
+		for _, noCoal := range []bool{false, true} {
+			cfg := Config{Algo: a, GraphSeed: 11, ScheduleSeed: 17, Ranks: 3, NoCoalesce: noCoal, Serve: true, Deletes: 6}
+			res := Run(cfg)
+			if res.Failed() {
+				t.Errorf("%s coalesce=%v: %d violations, first: %s",
+					a, !noCoal, len(res.Violations), res.Violations[0])
+			}
+			if res.Deletes == 0 {
+				t.Errorf("%s coalesce=%v: churn run streamed no deletes (vacuous)", a, !noCoal)
+			}
+			if res.CheckpointsChecked == 0 {
+				t.Errorf("%s coalesce=%v: no checkpoint round-trip (witness state untested)", a, !noCoal)
+			}
+		}
+	}
+}
+
+// TestSimChurnDeterminism: a delete-enabled run must still be exactly
+// reproducible from its seed pair (the churn choices are scheduler-owned).
+func TestSimChurnDeterminism(t *testing.T) {
+	cfg := Config{Algo: SSSP, GraphSeed: 42, ScheduleSeed: 7, Ranks: 2, Serve: true, Deletes: 5}
+	first := Run(cfg)
+	if first.Failed() {
+		t.Fatalf("base churn run failed: %s", first.Violations[0])
+	}
+	if again := Run(cfg); !reflect.DeepEqual(first, again) {
+		t.Error("identical seeds produced different churn results")
+	}
+}
+
 // TestSimSweep is the seeded schedule-exploration sweep: every seed ×
 // algorithm × coalescing combination must converge to the static oracle
 // with all invariants intact. SIM_SWEEP_SEEDS widens it in CI (200);
@@ -134,7 +170,7 @@ func TestSimReplay(t *testing.T) {
 // mutationCaught runs up to seeds mutated runs and reports how many runs
 // failed, how many recorded a violation matching want, and the total
 // merges observed (the vacuity guard for combine mutations).
-func mutationCaught(t *testing.T, mut Mutation, want string, seeds int, tweak func(*Config)) (failed, matched, merges int) {
+func mutationCaught(t *testing.T, mut Mutation, want string, seeds int, tweak func(*Config), observe ...func(Result)) (failed, matched, merges int) {
 	t.Helper()
 	for s := 0; s < seeds; s++ {
 		cfg := Config{
@@ -146,6 +182,9 @@ func mutationCaught(t *testing.T, mut Mutation, want string, seeds int, tweak fu
 		}
 		res := Run(cfg)
 		merges += res.Merges
+		for _, ob := range observe {
+			ob(res)
+		}
 		if res.Failed() {
 			failed++
 		}
@@ -187,6 +226,25 @@ func TestMutationCombineCaught(t *testing.T) {
 	t.Logf("combine mutation: %d of 25 seeds failed (%d with merge-check violations), %d merges", failed, matched, merges)
 }
 
+// TestMutationSkipInvalidateCaught proves the post-delete differential
+// oracle has teeth: an engine that removes edges without invalidating the
+// values they witnessed must be caught within a bounded seed budget, and
+// the runs must actually stream deletes (vacuity guard).
+func TestMutationSkipInvalidateCaught(t *testing.T) {
+	deletes := 0
+	failed, matched, _ := mutationCaught(t, MutateSkipInvalidate, "final:", 25, func(c *Config) {
+		c.Deletes = 6
+	}, func(r Result) { deletes += r.Deletes })
+	if deletes == 0 {
+		t.Fatal("no deletes streamed across 25 seeds — skip-invalidate mutation test is vacuous")
+	}
+	if matched == 0 {
+		t.Fatalf("skip-invalidate mutation survived 25 seeds undetected (%d runs failed, %d deletes streamed)",
+			failed, deletes)
+	}
+	t.Logf("skip-invalidate mutation caught in %d of 25 seeds (%d deletes streamed)", matched, deletes)
+}
+
 // TestParseReplayRoundTrip pins the artifact line format.
 func TestParseReplayRoundTrip(t *testing.T) {
 	f := SweepFailure{Cfg: Config{Algo: Widest, GraphSeed: 3, ScheduleSeed: 7, Ranks: 4, NoCoalesce: true, Serve: true}}
@@ -198,9 +256,23 @@ func TestParseReplayRoundTrip(t *testing.T) {
 	if cfg.Algo != Widest || cfg.GraphSeed != 3 || cfg.ScheduleSeed != 7 || cfg.Ranks != 4 || !cfg.NoCoalesce || !cfg.Serve {
 		t.Fatalf("round trip lost fields: %q → %+v", line, cfg)
 	}
+	if cfg.Deletes != 0 || strings.Contains(line, "deletes") {
+		t.Fatalf("add-only line should not carry a deletes field: %q → %+v", line, cfg)
+	}
+	churn := SweepFailure{Cfg: Config{Algo: CC, GraphSeed: 5, ScheduleSeed: 9, Ranks: 2, Serve: true, Deletes: 7}}
+	got, err := ParseReplay(churn.Repro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deletes != 7 || got.Algo != CC {
+		t.Fatalf("churn round trip lost fields: %q → %+v", churn.Repro(), got)
+	}
 	// Pre-serve seed lines (no serve= field) must stay parseable.
 	if old, err := ParseReplay("algo=bfs,graph=1,sched=2,ranks=2,coalesce=on"); err != nil || old.Serve {
 		t.Fatalf("legacy line: (%+v, %v)", old, err)
+	}
+	if _, err := ParseReplay("deletes=-1"); err == nil {
+		t.Error("negative delete budget accepted")
 	}
 	if _, err := ParseReplay("algo=nope"); err == nil {
 		t.Error("bad algo accepted")

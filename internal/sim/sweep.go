@@ -24,8 +24,14 @@ func (f SweepFailure) Repro() string {
 	if f.Cfg.Serve {
 		srv = "on"
 	}
-	return fmt.Sprintf("algo=%s,graph=%d,sched=%d,ranks=%d,coalesce=%s,serve=%s",
+	line := fmt.Sprintf("algo=%s,graph=%d,sched=%d,ranks=%d,coalesce=%s,serve=%s",
 		f.Cfg.Algo, f.Cfg.GraphSeed, f.Cfg.ScheduleSeed, f.Cfg.Ranks, coal, srv)
+	if f.Cfg.Deletes > 0 {
+		// Appended only for churn runs, so pre-churn tooling keeps parsing
+		// the lines it already knows.
+		line += fmt.Sprintf(",deletes=%d", f.Cfg.Deletes)
+	}
+	return line
 }
 
 // String summarizes the failure: the replay line plus the first
@@ -93,6 +99,12 @@ func ParseReplay(s string) (Config, error) {
 			default:
 				return Config{}, fmt.Errorf("sim: bad serve %q (want on/off)", v)
 			}
+		case "deletes":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Config{}, fmt.Errorf("sim: bad delete budget %q", v)
+			}
+			cfg.Deletes = n
 		default:
 			return Config{}, fmt.Errorf("sim: unknown replay key %q", k)
 		}
@@ -100,33 +112,37 @@ func ParseReplay(s string) (Config, error) {
 	return cfg, nil
 }
 
-// Sweep runs seeds × all algorithms × coalescing on/off, rotating the
-// rank count with the seed, and returns every failing run. Every run
-// serves the MVCC read plane, so the sweep validates lock-free reads
-// against the static oracle across the full algorithm × coalescing
-// matrix. progress (if non-nil) is called after each run with
-// (done, total).
+// Sweep runs seeds × all algorithms × coalescing on/off × churn off/on,
+// rotating the rank count with the seed, and returns every failing run.
+// Every run serves the MVCC read plane, so the sweep validates lock-free
+// reads against the static oracle across the full matrix; the churn cells
+// additionally stream live deletions (and occasional re-adds) and check
+// the converged state against the post-delete recompute. progress (if
+// non-nil) is called after each run with (done, total).
 func Sweep(seeds int, progress func(done, total int)) []SweepFailure {
 	var failures []SweepFailure
-	total := seeds * int(numAlgos) * 2
+	total := seeds * int(numAlgos) * 2 * 2
 	done := 0
 	for seed := 0; seed < seeds; seed++ {
 		for a := Algo(0); a < numAlgos; a++ {
 			for _, noCoal := range []bool{false, true} {
-				cfg := Config{
-					Algo:         a,
-					GraphSeed:    int64(seed),
-					ScheduleSeed: int64(seed)*7919 + int64(a)*31 + 1,
-					Ranks:        1 + seed%4,
-					NoCoalesce:   noCoal,
-					Serve:        true,
-				}
-				if res := Run(cfg); res.Failed() {
-					failures = append(failures, SweepFailure{Cfg: cfg, Result: res})
-				}
-				done++
-				if progress != nil {
-					progress(done, total)
+				for _, deletes := range []int{0, 3 + seed%6} {
+					cfg := Config{
+						Algo:         a,
+						GraphSeed:    int64(seed),
+						ScheduleSeed: int64(seed)*7919 + int64(a)*31 + int64(deletes)*977 + 1,
+						Ranks:        1 + seed%4,
+						NoCoalesce:   noCoal,
+						Serve:        true,
+						Deletes:      deletes,
+					}
+					if res := Run(cfg); res.Failed() {
+						failures = append(failures, SweepFailure{Cfg: cfg, Result: res})
+					}
+					done++
+					if progress != nil {
+						progress(done, total)
+					}
 				}
 			}
 		}

@@ -111,6 +111,8 @@ func Split(edges []graph.Edge, n int) []Stream {
 }
 
 // SplitEvents is Split for event slices (which may include deletes).
+// Round-robin placement does NOT preserve per-pair event order across
+// streams — use SplitEventsByPair for streams carrying deletions.
 func SplitEvents(events []graph.EdgeEvent, n int) []Stream {
 	if n < 1 {
 		n = 1
@@ -118,6 +120,27 @@ func SplitEvents(events []graph.EdgeEvent, n int) []Stream {
 	parts := make([][]graph.EdgeEvent, n)
 	for i, e := range events {
 		parts[i%n] = append(parts[i%n], e)
+	}
+	out := make([]Stream, n)
+	for i := range parts {
+		out[i] = &Slice{events: parts[i]}
+	}
+	return out
+}
+
+// SplitEventsByPair partitions events by endpoint pair (orientation
+// insensitive), so every add, delete, and re-add of one pair rides a
+// single stream in emission order — the engine's ordering obligation for
+// deletions (events on different streams have no relative order, and a
+// delete racing ahead of its own add would be dropped as unmatched).
+func SplitEventsByPair(events []graph.EdgeEvent, n int) []Stream {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]graph.EdgeEvent, n)
+	for _, e := range events {
+		i := int((e.Src + e.Dst) % graph.VertexID(n))
+		parts[i] = append(parts[i], e)
 	}
 	out := make([]Stream, n)
 	for i := range parts {

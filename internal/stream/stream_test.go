@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bytes"
+	"math/rand"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -280,6 +281,69 @@ func TestBinaryRoundTrip(t *testing.T) {
 	// Truncated record is an error.
 	if _, err := ReadBinary(bytes.NewBuffer(buf.Bytes()[:5])); err == nil {
 		t.Fatal("truncated binary parsed without error")
+	}
+}
+
+// TestDeleteRoundTripProperty: randomized mixed add/delete sequences must
+// survive both on-disk formats exactly — Src, Dst, W, and the Delete flag,
+// record for record. Every sequence is salted with the representational
+// boundaries the churn path now depends on: VertexID 0 (a legal vertex,
+// not a sentinel), ^VertexID(0) (all 64 bits set — the text format must
+// not round it through anything narrower), the maximum 32-bit weight, and
+// a weight-1 delete (the text writer may omit weight 1 on adds but must
+// keep it on deletes, where "del" rides in the fourth column).
+func TestDeleteRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(64) + 4
+		events := make([]graph.EdgeEvent, n)
+		for i := range events {
+			events[i] = graph.EdgeEvent{
+				Edge: graph.Edge{
+					Src: graph.VertexID(rng.Uint64()),
+					Dst: graph.VertexID(rng.Uint64()),
+					W:   graph.Weight(rng.Uint32()),
+				},
+				Delete: rng.Intn(3) == 0,
+			}
+		}
+		events[0] = graph.EdgeEvent{
+			Edge: graph.Edge{Src: 0, Dst: ^graph.VertexID(0), W: ^graph.Weight(0)}, Delete: true}
+		events[1] = graph.EdgeEvent{
+			Edge: graph.Edge{Src: ^graph.VertexID(0), Dst: 0, W: 1}, Delete: true}
+		events[2] = graph.EdgeEvent{
+			Edge: graph.Edge{Src: 0, Dst: 0, W: 1}}
+
+		for _, codec := range []struct {
+			name  string
+			write func(*bytes.Buffer, []graph.EdgeEvent) error
+			read  func(*bytes.Buffer) ([]graph.EdgeEvent, error)
+		}{
+			{"text",
+				func(b *bytes.Buffer, ev []graph.EdgeEvent) error { return WriteText(b, ev) },
+				func(b *bytes.Buffer) ([]graph.EdgeEvent, error) { return ReadText(b) }},
+			{"binary",
+				func(b *bytes.Buffer, ev []graph.EdgeEvent) error { return WriteBinary(b, ev) },
+				func(b *bytes.Buffer) ([]graph.EdgeEvent, error) { return ReadBinary(b) }},
+		} {
+			var buf bytes.Buffer
+			if err := codec.write(&buf, events); err != nil {
+				t.Fatalf("trial %d %s: write: %v", trial, codec.name, err)
+			}
+			got, err := codec.read(&buf)
+			if err != nil {
+				t.Fatalf("trial %d %s: read: %v", trial, codec.name, err)
+			}
+			if len(got) != len(events) {
+				t.Fatalf("trial %d %s: %d records in, %d out", trial, codec.name, len(events), len(got))
+			}
+			for i := range events {
+				if got[i] != events[i] {
+					t.Fatalf("trial %d %s: record %d: wrote %+v, read %+v",
+						trial, codec.name, i, events[i], got[i])
+				}
+			}
+		}
 	}
 }
 

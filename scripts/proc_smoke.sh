@@ -84,3 +84,60 @@ if ! diff -u "$tmp/ref-sorted.txt" "$tmp/merged.txt" >"$tmp/diff.txt"; then
 	exit 1
 fi
 echo "proc-smoke: OK — $(wc -l <"$tmp/merged.txt" | tr -d ' ') vertices identical across $PROCS-process and 1-process runs"
+
+# Churn stage: the same cluster topology, but with live deletions (and
+# re-adds) interleaved by -churn. Every process generates the identical
+# churned stream from the shared seed and ingests its pair-keyed shard;
+# the merged dumps must match a single-process churn run that also
+# -verify's itself against the static oracle over the surviving topology.
+CHURN="${CHURN:-0.2}"
+CPORT=$((PORT + PROCS + 1))
+echo "proc-smoke: $PROCS-process churn run (churn $CHURN, 127.0.0.1:$CPORT+)"
+pids=""
+i=0
+while [ "$i" -lt "$PROCS" ]; do
+	set -- -rmat "$SCALE" -ranks 2 -procs "$PROCS" -rank-id "$i" \
+		-algo "$ALGO" -churn "$CHURN" -churn.seed 7 -dump "$tmp/churn$i.txt"
+	if [ "$i" -lt $((PROCS - 1)) ]; then
+		set -- "$@" -listen "127.0.0.1:$((CPORT + i))"
+	fi
+	if [ "$i" -gt 0 ]; then
+		set -- "$@" -join "127.0.0.1:$CPORT"
+	fi
+	"$tmp/ingest" "$@" >"$tmp/c$i.log" 2>&1 &
+	pids="$pids $!"
+	i=$((i + 1))
+done
+
+fail=0
+for pid in $pids; do
+	wait "$pid" || fail=1
+done
+if [ "$fail" -ne 0 ]; then
+	echo "proc-smoke: a churn cluster process failed" >&2
+	i=0
+	while [ "$i" -lt "$PROCS" ]; do
+		sed "s/^/  c$i: /" "$tmp/c$i.log" >&2
+		i=$((i + 1))
+	done
+	exit 1
+fi
+
+echo "proc-smoke: single-process churn reference (+static -verify)"
+"$tmp/ingest" -rmat "$SCALE" -ranks $((PROCS * 2)) -algo "$ALGO" \
+	-churn "$CHURN" -churn.seed 7 -verify \
+	-dump "$tmp/churn-ref.txt" >"$tmp/churn-ref.log" 2>&1 || {
+	echo "proc-smoke: churn reference run failed" >&2
+	sed 's/^/  churn-ref: /' "$tmp/churn-ref.log" >&2
+	exit 1
+}
+grep '^verify:' "$tmp/churn-ref.log" | sed 's/^/  /'
+
+sort -n "$tmp"/churn[0-9]*.txt >"$tmp/churn-merged.txt"
+sort -n "$tmp/churn-ref.txt" >"$tmp/churn-ref-sorted.txt"
+if ! diff -u "$tmp/churn-ref-sorted.txt" "$tmp/churn-merged.txt" >"$tmp/churn-diff.txt"; then
+	echo "proc-smoke: FAIL — churned cluster shards diverge from the single-process run:" >&2
+	head -40 "$tmp/churn-diff.txt" >&2
+	exit 1
+fi
+echo "proc-smoke: OK — $(wc -l <"$tmp/churn-merged.txt" | tr -d ' ') vertices identical under churn across $PROCS-process and 1-process runs"

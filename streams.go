@@ -23,6 +23,15 @@ func StreamEvents(events []EdgeEvent) Stream { return stream.FromEvents(events) 
 // ordered, events across streams are concurrent.
 func SplitEdges(edges []Edge, n int) []Stream { return stream.Split(edges, n) }
 
+// SplitEventsByPair partitions a delete-carrying event sequence into n
+// ordered streams keyed by endpoint pair, keeping every add, delete, and
+// re-add of one pair on a single stream in emission order — the ordering
+// the deletion protocol requires (a delete on a different stream than its
+// add has no defined relative order).
+func SplitEventsByPair(events []EdgeEvent, n int) []Stream {
+	return stream.SplitEventsByPair(events, n)
+}
+
 // StreamFunc builds a stream that generates its i-th edge on demand,
 // letting arbitrarily long synthetic streams be ingested without
 // materialization.
