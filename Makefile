@@ -91,10 +91,11 @@ bench-check:
 	$(GO) run ./cmd/paperbench benchcmp -baseline BENCH_PR9.json \
 		-current bench-current.json -tol $(BENCH_TOL) -min-lookups 1000000
 
-# Telemetry-pipeline smoke: the exposition golden/lint tests plus the
-# debug-endpoint suite (what the CI metrics job runs).
+# Telemetry-pipeline smoke: the exposition golden/lint tests — including
+# the federated /cluster/metrics golden — plus the debug-endpoint suite
+# (what the CI metrics job runs).
 metrics-smoke:
-	$(GO) test ./internal/metrics/ ./cmd/ingest/ -run 'Prom|Lint|Metrics|Stats|Debug|Lineage' -v
+	$(GO) test ./internal/metrics/ ./cmd/ingest/ -run 'Prom|Lint|Metrics|Stats|Debug|Lineage|Cluster|Flight' -v
 
 # Live telemetry walkthrough: a small RMAT ingest with the -watch terminal
 # view (rates, lag, p50/p99/p999). Scale up -rmat to watch longer.

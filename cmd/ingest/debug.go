@@ -23,13 +23,60 @@ var (
 	publishOnce sync.Once
 )
 
+// clusterPoller serves the federated view. A live poll is one stats-frame
+// round trip per peer, but the stats verb dies with the transport when the
+// run quiesces — so the poller keeps the freshest snapshot that reached at
+// least as many processes as any before it, and /cluster/* fall back to
+// that cache during -linger inspection after the run. A background
+// refresher (started for multi-process graphs only) keeps the cache warm
+// while the run is live so the fallback is never empty.
+type clusterPoller struct {
+	g    *incregraph.Graph
+	mu   sync.Mutex
+	last []incregraph.NodeEngineStats
+}
+
+func newClusterPoller(g *incregraph.Graph) *clusterPoller {
+	cp := &clusterPoller{g: g}
+	if g.Stats().Transport.Nodes > 1 {
+		go cp.refreshLoop()
+	}
+	return cp
+}
+
+// snapshot polls live and returns the best federation known: the live
+// result when it is at least as complete as the cache, the cache otherwise.
+func (cp *clusterPoller) snapshot() []incregraph.NodeEngineStats {
+	live := cp.g.ClusterStats(2 * time.Second)
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if len(live) >= len(cp.last) {
+		cp.last = live
+	}
+	return cp.last
+}
+
+func (cp *clusterPoller) refreshLoop() {
+	for {
+		if cp.g.Stats().State == incregraph.StateStopped {
+			cp.snapshot() // one final poll; peers may still be lingering
+			return
+		}
+		cp.snapshot()
+		time.Sleep(2 * time.Second)
+	}
+}
+
 // newDebugMux builds the engine's observability surface:
 //
-//	/debug/vars   expvar JSON, including the live EngineStats under "engine"
-//	/debug/pprof  the standard Go profiling endpoints
-//	/stats        human-readable counters; ?format=json for the raw struct
-//	/metrics      Prometheus text exposition (counters, gauges, histograms)
-//	/lineage      the most recent sampled cascades as causal trees
+//	/debug/vars       expvar JSON, including the live EngineStats under "engine"
+//	/debug/pprof      the standard Go profiling endpoints
+//	/debug/flightrec  the protocol flight recorder + any stall-watchdog dump
+//	/stats            human-readable counters; ?format=json for the raw struct
+//	/metrics          Prometheus text exposition (counters, gauges, histograms)
+//	/cluster/stats    every process's EngineStats as JSON (federated poll)
+//	/cluster/metrics  node-labeled Prometheus exposition of the whole job
+//	/lineage          the most recent sampled cascades as causal trees
 func newDebugMux(g *incregraph.Graph) *http.ServeMux {
 	dbgGraph.Store(g)
 	publishOnce.Do(func() {
@@ -62,6 +109,36 @@ func newDebugMux(g *incregraph.Graph) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		metrics.WritePrometheus(w, g.Stats())
+	})
+	cp := newClusterPoller(g)
+	mux.HandleFunc("/cluster/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(cp.snapshot()) //nolint:errcheck // best-effort response write
+	})
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WriteClusterPrometheus(w, cp.snapshot())
+	})
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fs := g.Stats().Flight
+		fmt.Fprintf(w, "flight recorder: %d recorded, ring keeps %d, watchdog fires %d\n",
+			fs.Recorded, fs.Capacity, fs.WatchdogFires)
+		if dump := g.StallDump(); dump != "" {
+			fmt.Fprintf(w, "\n--- last stall dump ---\n%s\n--- entries (oldest first) ---\n", dump)
+		} else {
+			fmt.Fprintf(w, "\nentries (oldest first):\n")
+		}
+		for _, e := range g.FlightRecord() {
+			ts := time.Unix(0, e.UnixNanos).UTC().Format("15:04:05.000000")
+			peer := "-"
+			if e.Peer >= 0 {
+				peer = fmt.Sprintf("%d", e.Peer)
+			}
+			fmt.Fprintf(w, "%s  %-10s peer=%-3s %-12s a=%d b=%d\n", ts, e.Kind, peer, e.Detail, e.A, e.B)
+		}
 	})
 	mux.HandleFunc("/query", handleQuery(g))
 	mux.HandleFunc("/lineage", func(w http.ResponseWriter, _ *http.Request) {

@@ -90,6 +90,82 @@ func TestStatsEndpointJSON(t *testing.T) {
 	}
 }
 
+// TestStatsJSONRoundTripsTelemetry pins the observability contract the
+// federation rides on: the transport/flight blocks added for the cluster
+// plane must survive a full marshal/unmarshal cycle through /stats, since
+// the stats-frame verb ships exactly this JSON between processes.
+func TestStatsJSONRoundTripsTelemetry(t *testing.T) {
+	g := runTelemetryGraph(t)
+	mux := newDebugMux(g)
+	rec := get(t, mux, "/stats?format=json")
+	var es incregraph.EngineStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &es); err != nil {
+		t.Fatalf("/stats?format=json does not decode: %v", err)
+	}
+	want := g.Stats()
+	if es.Transport.Kind != want.Transport.Kind || es.Transport.Nodes != want.Transport.Nodes {
+		t.Fatalf("transport block did not round-trip: got %+v want %+v", es.Transport, want.Transport)
+	}
+	if es.Flight.Capacity != want.Flight.Capacity || es.Flight.Capacity == 0 {
+		t.Fatalf("flight capacity did not round-trip: got %d want %d", es.Flight.Capacity, want.Flight.Capacity)
+	}
+	if es.Flight.Recorded == 0 {
+		t.Fatal("flight recorder saw no lifecycle transitions")
+	}
+	if es.State != incregraph.StateStopped {
+		t.Fatalf("state did not round-trip: %v", es.State)
+	}
+}
+
+// TestClusterEndpoints exercises the federated surface on a single-process
+// graph: the poll degenerates to the local snapshot as node 0, the JSON is
+// a decodable NodeEngineStats slice, and the node-labeled exposition
+// passes the same lint as /metrics.
+func TestClusterEndpoints(t *testing.T) {
+	mux := newDebugMux(runTelemetryGraph(t))
+
+	rec := get(t, mux, "/cluster/stats")
+	var cs []incregraph.NodeEngineStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &cs); err != nil {
+		t.Fatalf("/cluster/stats does not decode: %v", err)
+	}
+	if len(cs) != 1 || cs[0].Node != 0 {
+		t.Fatalf("single-process /cluster/stats = %d nodes (first %v), want just node 0", len(cs), cs)
+	}
+	if cs[0].Stats.Ingested == 0 {
+		t.Fatal("/cluster/stats node 0 reports zero ingested events")
+	}
+
+	rec = get(t, mux, "/cluster/metrics")
+	if err := metrics.LintProm(rec.Body.Bytes()); err != nil {
+		t.Fatalf("/cluster/metrics fails exposition-format lint: %v\n%s", err, rec.Body.Bytes())
+	}
+	for _, want := range []string{
+		"incregraph_cluster_nodes 1",
+		`incregraph_cluster_ingested_events_total{node="0"}`,
+		`incregraph_cluster_flightrec_recorded_total{node="0"}`,
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("/cluster/metrics missing %q", want)
+		}
+	}
+}
+
+func TestFlightRecEndpoint(t *testing.T) {
+	mux := newDebugMux(runTelemetryGraph(t))
+	rec := get(t, mux, "/debug/flightrec")
+	body := rec.Body.String()
+	if !strings.Contains(body, "flight recorder:") {
+		t.Fatalf("/debug/flightrec missing header:\n%s", body)
+	}
+	// The run's lifecycle transitions are always recorded, transport aside.
+	for _, want := range []string{"state", "Running", "Stopped"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/flightrec missing %q:\n%s", want, body)
+		}
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	mux := newDebugMux(runTelemetryGraph(t))
 	rec := get(t, mux, "/metrics")

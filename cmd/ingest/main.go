@@ -74,6 +74,7 @@ func main() {
 		churn   = flag.Float64("churn", 0, "interleave live edge deletions (and occasional re-adds) into an add-only input: the probability of one delete after each add (0 disables)")
 		churnSd = flag.Int64("churn.seed", 1, "seed for the churn interleaving")
 		tune    = flag.Bool("autotune", false, "enable the per-rank auto-tune controller (batch size + compaction threshold)")
+		stall   = flag.Duration("stall", 0, "cluster: stall-watchdog deadline — no protocol progress for this long dumps the flight recorder to stderr (0 = engine default 30s; negative disables)")
 		linger  = flag.Duration("linger", 0, "after the run (and -dump) completes, keep the process and its -debug.addr endpoints alive this long before exiting")
 	)
 	flag.Parse()
@@ -132,10 +133,11 @@ func main() {
 	}
 	if cluster {
 		cfg.Cluster = &incregraph.ClusterConfig{
-			Proc:   *rankID,
-			Procs:  *procs,
-			Listen: *listen,
-			Join:   *join,
+			Proc:         *rankID,
+			Procs:        *procs,
+			Listen:       *listen,
+			Join:         *join,
+			StallTimeout: *stall,
 		}
 	}
 	g, err := incregraph.NewCluster(cfg, programs...)
@@ -161,7 +163,10 @@ func main() {
 		if err := startDebugServer(*dbgAddr, g); err != nil {
 			fatal(err)
 		}
-		routes := "/debug/vars, /debug/pprof, /metrics, /stats, /lineage"
+		routes := "/debug/vars, /debug/pprof, /debug/flightrec, /metrics, /stats, /lineage"
+		if cluster {
+			routes += ", /cluster/metrics, /cluster/stats"
+		}
 		if g.ServeEnabled() {
 			routes += ", /query"
 		}
@@ -241,10 +246,16 @@ func main() {
 	}
 	if ts := es.Transport; ts.Kind != "inproc" {
 		for _, p := range ts.Peers {
-			fmt.Printf("transport: %s peer %d: sent %s recv %s acked %s events (%s/%s frames, %d reconnects)\n",
+			fmt.Printf("transport: %s peer %d: sent %s recv %s acked %s events (%s/%s frames, %s/%s bytes, %d reconnects)\n",
 				ts.Kind, p.Node, metrics.HumanCount(p.SentEvents), metrics.HumanCount(p.RecvEvents),
 				metrics.HumanCount(p.AckedEvents), metrics.HumanCount(p.SentFrames),
-				metrics.HumanCount(p.RecvFrames), p.Reconnects)
+				metrics.HumanCount(p.RecvFrames),
+				metrics.HumanCount(p.SentBytes), metrics.HumanCount(p.RecvBytes), p.Reconnects)
+			if p.AckRTT.Count > 0 {
+				fmt.Printf("transport:   peer %d ack rtt p50=%s p99=%s, frame size p50=%sB (n=%d)\n",
+					p.Node, p.AckRTT.Quantile(0.50), p.AckRTT.Quantile(0.99),
+					metrics.HumanCount(uint64(p.FrameBytes.Quantile(0.50))), p.FrameBytes.Count)
+			}
 		}
 	}
 	if *dump != "" {

@@ -98,17 +98,36 @@ func renderWatch(out io.Writer, cur, prev incregraph.EngineStats, dt time.Durati
 		rate(cur.SelfDelivered, prev.SelfDelivered))
 	if ts := cur.Transport; len(ts.Peers) > 0 {
 		var sent, recv, prevSent, prevRecv, unacked uint64
+		var sentB, recvB, prevSentB, prevRecvB uint64
+		var rtt incregraph.HistogramSnapshot
 		for i, p := range ts.Peers {
 			sent += p.SentEvents
 			recv += p.RecvEvents
 			unacked += p.SentEvents - p.AckedEvents
+			sentB += p.SentBytes
+			recvB += p.RecvBytes
+			if p.AckRTT.Count > rtt.Count {
+				rtt = p.AckRTT // slowest-sampled peer's round trips
+			}
 			if i < len(prev.Transport.Peers) {
 				prevSent += prev.Transport.Peers[i].SentEvents
 				prevRecv += prev.Transport.Peers[i].RecvEvents
+				prevSentB += prev.Transport.Peers[i].SentBytes
+				prevRecvB += prev.Transport.Peers[i].RecvBytes
 			}
 		}
 		line("wire      %s node %d/%d   %12s sent   %12s recv   %d unacked",
 			ts.Kind, ts.Node, ts.Nodes, rate(sent, prevSent), rate(recv, prevRecv), unacked)
+		byteRate := func(curB, prevB uint64) string {
+			if dt <= 0 {
+				return metrics.HumanBytes(0) + "/s"
+			}
+			return metrics.HumanBytes(uint64(float64(curB-prevB)/dt.Seconds())) + "/s"
+		}
+		line("          %12s out   %12s in   ack rtt p99 %-10s   flightrec %s (%d watchdog fires)",
+			byteRate(sentB, prevSentB), byteRate(recvB, prevRecvB),
+			rtt.Quantile(0.99),
+			metrics.HumanCount(cur.Flight.Recorded), cur.Flight.WatchdogFires)
 	} else {
 		line("wire      %s (single process)", ts.Kind)
 	}

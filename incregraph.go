@@ -74,8 +74,18 @@ type (
 	// its kind, this process's place in the cluster, and per-peer counters.
 	TransportStats = core.TransportStats
 	// PeerTransportStats is one peer channel's live counter block:
-	// sent/received/acknowledged events and frame/reconnect counts.
+	// sent/received/acknowledged events and byte counts, frame/reconnect/
+	// backoff counts, and the frame-size and ack-round-trip histograms.
 	PeerTransportStats = core.PeerTransportStats
+	// NodeEngineStats pairs one process's EngineStats with its node index —
+	// the unit of the federated Graph.ClusterStats view.
+	NodeEngineStats = core.NodeEngineStats
+	// FlightEntry is one recorded protocol-level event of the always-on
+	// flight recorder (see Graph.FlightRecord).
+	FlightEntry = core.FlightEntry
+	// FlightStats summarizes the flight recorder and stall watchdog inside
+	// an EngineStats snapshot.
+	FlightStats = core.FlightStats
 	// ReadValue is one served vertex value of the MVCC read plane (see
 	// Config.Serve and Graph.ReadPoint/ReadBatch).
 	ReadValue = serve.Value
@@ -203,9 +213,13 @@ type Config struct {
 // they observe this process's shard, so a global answer is the union of
 // every process's Collect (shards are disjoint).
 //
+// Cascade lineage sampling works across processes (since wire v3): a
+// sampled cascade's remote fragments are stitched back to the originating
+// process, so Lineage() returns trees spanning the whole cluster.
+//
 // Not supported across processes (they error or panic, see DESIGN.md):
-// Pause/Resume, Snapshot, checkpoints of a cluster run, the deterministic
-// simulator, and cascade lineage sampling (force-disabled).
+// Pause/Resume, Snapshot, checkpoints of a cluster run, and the
+// deterministic simulator.
 type ClusterConfig struct {
 	// Proc is this process's index in [0, Procs).
 	Proc int
@@ -216,6 +230,19 @@ type ClusterConfig struct {
 	Listen string
 	// Join is the coordinator's address (required when Proc > 0).
 	Join string
+	// ProbeTimeout bounds one termination-probe round's wait for all peer
+	// reports (default 1s); a round that times out is retried.
+	ProbeTimeout time.Duration
+	// ShutdownWait bounds each of shutdown's two goroutine drains —
+	// writers before the connections close, readers after (default 2s
+	// each).
+	ShutdownWait time.Duration
+	// StallTimeout arms the per-process stall watchdog: when this process
+	// makes no protocol-level progress for this long while it should be
+	// making some, the flight recorder and per-peer transport state are
+	// dumped to stderr and retained for StallDump. Default 30s; negative
+	// disables. Firing is pure observability — the run is never killed.
+	StallTimeout time.Duration
 }
 
 // WeightPolicy re-exports the duplicate-weight merge rules.
@@ -291,6 +318,9 @@ func NewCluster(cfg Config, programs ...Program) (*Graph, error) {
 			RanksPerNode: cfg.Ranks,
 			Listen:       cc.Listen,
 			Join:         cc.Join,
+			ProbeTimeout: cc.ProbeTimeout,
+			ShutdownWait: cc.ShutdownWait,
+			StallTimeout: cc.StallTimeout,
 		})
 		if err != nil {
 			return nil, err
@@ -483,6 +513,26 @@ func (g *Graph) Trace() []TraceEntry { return g.eng.Trace() }
 // Config.SampleEvery. Legal in every lifecycle state (lineages are
 // immutable copies); nil when sampling is disabled.
 func (g *Graph) Lineage() []Lineage { return g.eng.Lineages() }
+
+// ClusterStats federates Stats() across the whole job: every process's
+// EngineStats snapshot, labeled by its node index and sorted, the local one
+// included. Each remote snapshot is one stats-frame round trip bounded by
+// timeout (<= 0 selects 1s); peers that miss the deadline are absent. For
+// an in-process graph it returns just the local snapshot as node 0.
+func (g *Graph) ClusterStats(timeout time.Duration) []NodeEngineStats {
+	return g.eng.ClusterStats(timeout)
+}
+
+// FlightRecord returns the always-on flight recorder's retained
+// protocol-level events (frames, credits, quiescence votes, lifecycle
+// transitions), oldest first. Cheap; legal in every lifecycle state.
+func (g *Graph) FlightRecord() []FlightEntry { return g.eng.FlightRecord() }
+
+// StallDump returns the most recent stall-watchdog dump ("" if the
+// watchdog never fired): engine state, per-peer transport counters with
+// the suspected stalled peer marked, and the flight recorder. The same
+// text is written to stderr at fire time. See ClusterConfig.StallTimeout.
+func (g *Graph) StallDump() string { return g.eng.StallDump() }
 
 // Ranks returns the configured rank count (the GLOBAL count for a
 // multi-process graph).

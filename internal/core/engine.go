@@ -163,6 +163,9 @@ type Engine struct {
 	// histograms (serve itself is engine-free).
 	plane *serve.Plane
 	srv   *serveStats
+	// flight is the always-on protocol-level flight recorder (flight.go);
+	// the stall watchdog's dumps are retained here too.
+	flight *flightRec
 
 	// inflight counts unprocessed events per snapshot-sequence ring slot
 	// (ring size 4 > the 2 sequences that can coexist). The engine is
@@ -256,6 +259,7 @@ func New(opts Options, programs ...Program) *Engine {
 		programs: programs,
 		tr:       opts.Transport,
 		done:     make(chan struct{}),
+		flight:   &flightRec{},
 	}
 	if err := e.tr.bind(e); err != nil {
 		panic(fmt.Sprintf("core: transport: %v", err))
@@ -265,13 +269,6 @@ func New(opts Options, programs ...Program) *Engine {
 			e.remote = true
 			break
 		}
-	}
-	if e.remote {
-		// Cascade lineage is process-local: Trace tags are stripped on the
-		// wire, so a sampled cascade that crosses nodes could never retire.
-		// Distributed runs disable the sampler outright.
-		opts.SampleEvery = -1
-		e.opts.SampleEvery = -1
 	}
 	e.combine = make([]combineFunc, len(programs))
 	if !opts.NoCoalesce {
@@ -294,7 +291,10 @@ func New(opts Options, programs ...Program) *Engine {
 		}
 	}
 	e.qCond = sync.NewCond(&e.qMu)
-	if opts.SampleEvery > 0 && !e.remote {
+	if opts.SampleEvery > 0 {
+		// Since wire v3 the sampler runs in distributed mode too: Trace tags
+		// ride EVENTS frames and remote fragments report back to the origin
+		// (see lineage.go), so a cascade that crosses nodes still retires.
 		e.traces = newTraceTable(max(opts.LineageKeep, 0))
 	}
 	if opts.Serve {
@@ -306,6 +306,16 @@ func New(opts Options, programs ...Program) *Engine {
 		e.ranks[i] = newRank(e, i)
 		if e.plane != nil && e.tr.Local(i) {
 			e.ranks[i].pub = e.plane.Publisher(i)
+		}
+	}
+	if e.traces != nil {
+		// Lineages finalized from a remote report (no retiring rank at hand)
+		// record their latency into the first local rank's histogram.
+		for g := 0; g < opts.Ranks; g++ {
+			if e.tr.Local(g) {
+				e.traces.record = e.ranks[g].lat.ingest.record
+				break
+			}
 		}
 	}
 	return e
@@ -343,6 +353,7 @@ func (e *Engine) Start(streams []stream.Stream) error {
 		return fmt.Errorf("core: transport start: %w", err)
 	}
 	e.state.Store(int32(StateRunning))
+	e.flight.note("state", -1, "Running", 0, 0)
 	e.streamsLeft.Store(0)
 	e.startNanos.Store(time.Now().UnixNano())
 	if e.plane != nil {
@@ -570,6 +581,7 @@ func (e *Engine) tryFinish() bool {
 	e.finishOnce.Do(func() {
 		e.finished.Store(true)
 		e.state.Store(int32(StateStopped))
+		e.flight.note("state", -1, "Stopped", 0, 0)
 		close(e.done)
 	})
 	e.signalQuiesce()
@@ -584,6 +596,7 @@ func (e *Engine) finishFromTransport() {
 	e.finishOnce.Do(func() {
 		e.finished.Store(true)
 		e.state.Store(int32(StateStopped))
+		e.flight.note("state", -1, "Stopped", 0, 0)
 		close(e.done)
 	})
 	e.signalQuiesce()
@@ -611,6 +624,16 @@ func (e *Engine) Err() error {
 	e.runErrMu.Lock()
 	defer e.runErrMu.Unlock()
 	return e.runErr
+}
+
+// ClusterStats federates EngineStats across the whole job: it polls every
+// peer process over the transport's stats verb (bounded by timeout per
+// round trip) and returns one node-labeled snapshot per process, this one
+// included. Single-process transports return just the local snapshot.
+// Peers that fail to answer within the timeout are simply absent from the
+// result — the caller can tell by the node labels present.
+func (e *Engine) ClusterStats(timeout time.Duration) []NodeEngineStats {
+	return e.tr.clusterStats(timeout)
 }
 
 // wakeAll nudges every rank to re-examine snapshot duty / termination.

@@ -1,0 +1,16 @@
+package core
+
+// Test-only exports: fault-injection hooks the external test package
+// (core_test) needs to drive the transport into failure modes.
+
+// SetDropFrames installs (or, with nil, removes) the outbound
+// fault-injection hook: fn is consulted with the destination node and the
+// frame type's name for every frame about to be written, and returning
+// true silently drops it. Dropped frames are never counted as sent.
+func (t *TCPTransport) SetDropFrames(fn func(peerNode int, frame string) bool) {
+	if fn == nil {
+		t.dropFrame.Store((func(int, frameType) bool)(nil))
+		return
+	}
+	t.dropFrame.Store(func(peer int, ft frameType) bool { return fn(peer, ft.String()) })
+}

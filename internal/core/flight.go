@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: an always-on bounded ring of recent protocol-level
+// events — frames sent/received, credit grants, quiescence votes, lifecycle
+// transitions. It records coarse control-plane activity, never per-graph-
+// event work, so its cost (one short mutex hold per protocol event) is off
+// the hot path by construction. When the stall watchdog (tcp.go) fires, the
+// ring is what gets dumped: the last flightRingCap control-plane events
+// leading into the stall, which is usually enough to see which peer went
+// quiet and during which phase of the termination protocol.
+
+// flightRingCap bounds the ring. Old entries are overwritten; FlightStats
+// reports both the capacity and the total ever recorded.
+const flightRingCap = 256
+
+// FlightEntry is one recorded protocol-level event.
+type FlightEntry struct {
+	UnixNanos int64 `json:"unix_nanos"`
+	// Kind is a static label: "frame-sent", "frame-recv", "credit",
+	// "probe", "report", "terminate", "state", "peer-drop", "watchdog".
+	Kind string `json:"kind"`
+	// Peer is the remote node involved, -1 when not peer-specific.
+	Peer int `json:"peer"`
+	// Detail is a static qualifier (frame type or lifecycle state name).
+	Detail string `json:"detail,omitempty"`
+	// A and B are kind-specific numerics (sequence numbers, credit
+	// cumulative counters, payload sizes).
+	A uint64 `json:"a,omitempty"`
+	B uint64 `json:"b,omitempty"`
+}
+
+// flightRec is the per-engine flight recorder plus the watchdog's fire
+// bookkeeping (the watchdog itself lives in the TCP transport; its dumps
+// are retained here so /debug/flightrec and StallDump can serve them after
+// the fact).
+type flightRec struct {
+	mu    sync.Mutex
+	buf   [flightRingCap]FlightEntry
+	n     int // filled entries, ≤ flightRingCap
+	next  int // ring write position
+	total atomic.Uint64
+
+	fires       atomic.Uint64
+	lastStallNS atomic.Int64
+	dump        atomic.Value // string: the most recent stall dump
+}
+
+// note appends one entry. Safe from any goroutine.
+func (f *flightRec) note(kind string, peer int, detail string, a, b uint64) {
+	e := FlightEntry{
+		UnixNanos: time.Now().UnixNano(),
+		Kind:      kind, Peer: peer, Detail: detail, A: a, B: b,
+	}
+	f.mu.Lock()
+	f.buf[f.next] = e
+	f.next = (f.next + 1) % flightRingCap
+	if f.n < flightRingCap {
+		f.n++
+	}
+	f.mu.Unlock()
+	f.total.Add(1)
+}
+
+// snapshot returns the retained entries, oldest first.
+func (f *flightRec) snapshot() []FlightEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEntry, 0, f.n)
+	if f.n == flightRingCap {
+		out = append(out, f.buf[f.next:]...)
+		out = append(out, f.buf[:f.next]...)
+	} else {
+		out = append(out, f.buf[:f.n]...)
+	}
+	return out
+}
+
+// recordStall retains a watchdog dump for later retrieval.
+func (f *flightRec) recordStall(dump string) {
+	f.fires.Add(1)
+	f.lastStallNS.Store(time.Now().UnixNano())
+	f.dump.Store(dump)
+}
+
+// FlightStats summarizes the flight recorder for EngineStats.
+type FlightStats struct {
+	Recorded           uint64 `json:"recorded"`
+	Capacity           int    `json:"capacity"`
+	WatchdogFires      uint64 `json:"watchdog_fires"`
+	LastStallUnixNanos int64  `json:"last_stall_unix_nanos,omitempty"`
+}
+
+func (f *flightRec) stats() FlightStats {
+	return FlightStats{
+		Recorded:           f.total.Load(),
+		Capacity:           flightRingCap,
+		WatchdogFires:      f.fires.Load(),
+		LastStallUnixNanos: f.lastStallNS.Load(),
+	}
+}
+
+// FlightRecord returns the engine's retained protocol-level flight
+// recorder entries, oldest first. Always available; cheap.
+func (e *Engine) FlightRecord() []FlightEntry {
+	return e.flight.snapshot()
+}
+
+// StallDump returns the most recent stall-watchdog dump, or "" if the
+// watchdog never fired. The dump is also written to stderr at fire time.
+func (e *Engine) StallDump() string {
+	if d, ok := e.flight.dump.Load().(string); ok {
+		return d
+	}
+	return ""
+}

@@ -173,7 +173,7 @@ func TestTraceTableLifecycle(t *testing.T) {
 	r := testRank()
 
 	root := Event{Kind: KindAdd, To: 1, From: 2, Seq: 7}
-	rootTrace := tt.start(&root, 0)
+	rootTrace := tt.start(&root, 0, 0)
 	if rootTrace == 0 {
 		t.Fatal("start returned an untraced root")
 	}
@@ -182,20 +182,20 @@ func TestTraceTableLifecycle(t *testing.T) {
 	}
 
 	childEv := Event{Kind: KindUpdate, To: 3, From: 1, Val: 9, Seq: 7}
-	childTrace := tt.child(rootTrace, &childEv, 1)
+	childTrace := tt.child(rootTrace, &childEv, 1, 0)
 	if childTrace == 0 {
 		t.Fatal("child returned an untraced event")
 	}
 	mergedEv := Event{Kind: KindUpdate, To: 3, From: 2, Val: 8, Seq: 7}
-	tt.merged(rootTrace, &mergedEv, 1, childTrace)
+	tt.merged(rootTrace, &mergedEv, 1, 0, childTrace)
 
 	// Retire the child, then the root: the second retire quiesces the
 	// cascade and must finalize exactly one lineage.
-	tt.retire(childTrace, r)
+	tt.retire(childTrace, r, 0)
 	if got := len(tt.lineages()); got != 0 {
 		t.Fatalf("%d lineages completed before quiescence", got)
 	}
-	tt.retire(rootTrace, r)
+	tt.retire(rootTrace, r, 0)
 
 	ls := tt.lineages()
 	if len(ls) != 1 {
@@ -230,7 +230,7 @@ func TestTraceTableSlotExhaustionDrops(t *testing.T) {
 	ev := Event{Kind: KindAdd}
 	traces := make([]uint64, 0, traceSlotCount)
 	for i := 0; i < traceSlotCount; i++ {
-		tr := tt.start(&ev, 0)
+		tr := tt.start(&ev, 0, 0)
 		if tr == 0 {
 			t.Fatalf("start %d dropped with free slots remaining", i)
 		}
@@ -238,7 +238,7 @@ func TestTraceTableSlotExhaustionDrops(t *testing.T) {
 	}
 	const extra = 5
 	for i := 0; i < extra; i++ {
-		if tr := tt.start(&ev, 0); tr != 0 {
+		if tr := tt.start(&ev, 0, 0); tr != 0 {
 			t.Fatal("start succeeded with a full table")
 		}
 	}
@@ -247,8 +247,8 @@ func TestTraceTableSlotExhaustionDrops(t *testing.T) {
 	}
 	// Freeing one slot makes sampling work again (keep=0: nothing retained).
 	r := testRank()
-	tt.retire(traces[0], r)
-	if tr := tt.start(&ev, 0); tr == 0 {
+	tt.retire(traces[0], r, 0)
+	if tr := tt.start(&ev, 0, 0); tr == 0 {
 		t.Fatal("start dropped after a slot was freed")
 	}
 	if got := len(tt.lineages()); got != 0 {
@@ -260,11 +260,11 @@ func TestTraceTableTruncation(t *testing.T) {
 	tt := newTraceTable(1)
 	r := testRank()
 	root := Event{Kind: KindAdd}
-	rootTrace := tt.start(&root, 0)
+	rootTrace := tt.start(&root, 0, 0)
 	ev := Event{Kind: KindUpdate}
 	var kids []uint64
 	for i := 0; i < maxLineageNodes+10; i++ {
-		if tr := tt.child(rootTrace, &ev, 0); tr != 0 {
+		if tr := tt.child(rootTrace, &ev, 0, 0); tr != 0 {
 			kids = append(kids, tr)
 		}
 	}
@@ -272,9 +272,9 @@ func TestTraceTableTruncation(t *testing.T) {
 		t.Fatalf("recorded %d children, want %d (cap minus root)", len(kids), maxLineageNodes-1)
 	}
 	for _, tr := range kids {
-		tt.retire(tr, r)
+		tt.retire(tr, r, 0)
 	}
-	tt.retire(rootTrace, r)
+	tt.retire(rootTrace, r, 0)
 	ls := tt.lineages()
 	if len(ls) != 1 || !ls[0].Truncated {
 		t.Fatalf("truncated cascade: %d lineages, truncated=%v", len(ls), len(ls) == 1 && ls[0].Truncated)
@@ -288,16 +288,16 @@ func TestTraceTableStaleParent(t *testing.T) {
 	tt := newTraceTable(1)
 	r := testRank()
 	root := Event{Kind: KindAdd}
-	stale := tt.start(&root, 0)
-	tt.retire(stale, r) // lineage completed; the slot is free for reuse
+	stale := tt.start(&root, 0, 0)
+	tt.retire(stale, r, 0) // lineage completed; the slot is free for reuse
 
 	ev := Event{Kind: KindUpdate}
-	if tr := tt.child(stale, &ev, 0); tr != 0 {
+	if tr := tt.child(stale, &ev, 0, 0); tr != 0 {
 		t.Fatal("child accepted a stale parent trace")
 	}
-	tt.merged(stale, &ev, 0, 0) // must be a no-op, not a panic
+	tt.merged(stale, &ev, 0, 0, 0) // must be a no-op, not a panic
 	before := len(tt.lineages())
-	tt.retire(stale, r) // double retire of a completed lineage: no-op
+	tt.retire(stale, r, 0) // double retire of a completed lineage: no-op
 	if got := len(tt.lineages()); got != before {
 		t.Fatalf("stale retire changed completed lineages: %d -> %d", before, got)
 	}

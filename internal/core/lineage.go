@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,16 +18,40 @@ import (
 // promise, and (b) reconstruct the causal tree of every event the cascade
 // generated, including UPDATEs that were coalesced away before delivery.
 //
+// Since wire version 3 lineage spans processes: Trace tags ride EVENTS
+// frames, every process records the cascade nodes its ranks emit into a
+// local FRAGMENT, and fragments ship delta reports (LINEAGE frames) back to
+// the originating process, which stitches the full cross-process tree.
+//
 // Trace encoding (0 = untraced, which is what every event is unless the
 // per-rank sampler picks it):
 //
 //	Trace = [ id : 32 ][ node : 32 ]
-//	id    = [ gen : 24 ][ slot+1 : 8 ]
+//	id    = [ origin : 8 ][ gen : 16 ][ slot+1 : 8 ]
+//	node  = [ proc : 8 ][ index : 24 ]
 //
-// id names the lineage: slot+1 indexes the fixed trace table (nonzero by
-// construction, so a zero Trace can never collide with slot 0) and gen is a
-// monotone generation making reused slots distinguishable. node is the
-// event's index in the lineage's node list (0 = the sampled root event).
+// id names the lineage: origin is the process that sampled the root, slot+1
+// indexes that process's fixed trace table (nonzero by construction, so a
+// zero Trace can never collide with slot 0), and gen is a monotone
+// generation making reused slots distinguishable. node names the event
+// within the lineage: proc is the process that RECORDED the node (i.e.
+// emitted the event) and index is its position in that process's recording
+// order — so two processes extending one cascade concurrently can never
+// mint colliding node words. A single-process engine has origin == proc ==
+// 0 everywhere and the encoding degenerates to the pre-v3 one.
+//
+// Completion is decided at the origin by a per-channel counter balance:
+// every process counts, per lineage and per peer channel, the traced events
+// it shipped and received; a fragment whose local pending count returns to
+// zero immediately reports its cumulative counters (and freshly recorded
+// nodes) to the origin. The origin finalizes when its own pending count is
+// zero and every channel matches (sent(p→q) == recv(q←p) for all pairs it
+// knows about). That check is sound: a hidden send (one the origin hasn't
+// seen a report for) can only happen while processing a hidden receive, and
+// walking that causal chain backwards must reach an accounted send — whose
+// matching receive is then missing from the books, breaking the balance.
+// Pure-local lineages have empty channel tables and finalize exactly as
+// before.
 //
 // Cost discipline: the unsampled hot path pays only Trace==0 branches — no
 // clock reads, no atomics. A sampled cascade pays one atomic pending
@@ -39,14 +64,32 @@ import (
 // blocking the hot path.
 const traceSlotCount = 64
 
-// maxLineageNodes caps one lineage's recorded node list. A cascade that
-// outgrows it stops extending its trace (descendants run untraced, the
-// lineage is marked Truncated and retires early) so a pathological cascade
-// cannot hold its slot, or unbounded memory, forever.
+// maxLineageNodes caps one lineage's recorded node list (per recording
+// process). A cascade that outgrows it stops extending its trace
+// (descendants run untraced, the lineage is marked Truncated and retires
+// early) so a pathological cascade cannot hold its slot, or unbounded
+// memory, forever.
 const maxLineageNodes = 1 << 14
+
+// maxTraceFrags caps the remote-origin fragment map of one process.
+// Fragments whose cascade went quiet are evicted lazily once the map is
+// full; an evicted fragment's lineage simply never completes at its origin
+// and is reclaimed there by slot expiry.
+const maxTraceFrags = 4096
+
+// traceSlotExpiry is how long an origin keeps a locally-quiescent lineage
+// waiting for remote channel balance before slot reclamation may
+// force-finalize it as truncated (a peer died or a report was lost).
+const traceSlotExpiry = 5 * time.Second
 
 // packTrace assembles an Event.Trace value.
 func packTrace(id, node uint32) uint64 { return uint64(id)<<32 | uint64(node) }
+
+// traceOrigin extracts the originating process from a lineage ID.
+func traceOrigin(id uint32) int { return int(id >> 24) }
+
+// packNode assembles a node word from its recording process and index.
+func packNode(proc int, idx uint32) uint32 { return uint32(proc)<<24 | idx }
 
 // DecodeTrace splits an Event.Trace into its lineage ID and node index;
 // ok is false for an untraced event.
@@ -59,8 +102,11 @@ func DecodeTrace(t uint64) (id, node uint32, ok bool) {
 
 // LineageNode is one event of a traced cascade, recorded at emission time.
 type LineageNode struct {
-	// ID is the node's index in Lineage.Nodes; Parent is the index of the
-	// event whose callback emitted this one (the root is its own parent).
+	// ID is the node's word ([proc:8][index:24] — the process that emitted
+	// the event and its position in that process's recording order; a
+	// single-process lineage degenerates to a plain index). Parent is the
+	// node word of the event whose callback emitted this one (the root is
+	// its own parent).
 	ID     uint32 `json:"id"`
 	Parent uint32 `json:"parent"`
 	// Rank is the rank that emitted the event (for the root: that ingested
@@ -87,7 +133,7 @@ type LineageNode struct {
 // Lineage is the completed causal tree of one sampled topology event: every
 // event its cascade generated, in creation order, parent-linked.
 type Lineage struct {
-	// ID is the lineage's trace ID (gen<<8 | slot+1).
+	// ID is the lineage's trace ID ([origin:8][gen:16][slot+1:8]).
 	ID uint32 `json:"id"`
 	// StartUnixNanos is the wall-clock stream-pull instant; Latency is the
 	// time from that pull to cascade quiescence — the last descendant
@@ -103,19 +149,39 @@ type Lineage struct {
 }
 
 // Tree renders the lineage as an indented causal tree, one node per line.
+// Node IDs are words, not slice indices (remote nodes are stitched in at
+// report time), so the walk resolves them through a map; children render in
+// ascending node-word order, which is deterministic and groups each
+// process's emissions together. Orphans — nodes whose parent never reached
+// the origin (a truncated remote fragment) — render as extra roots so no
+// recorded node is silently dropped.
 func (l Lineage) Tree() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "lineage %d: %d events, %s%s\n", l.ID, len(l.Nodes),
 		l.Latency, map[bool]string{true: " (truncated)", false: ""}[l.Truncated])
+	byID := make(map[uint32]*LineageNode, len(l.Nodes))
+	for i := range l.Nodes {
+		byID[l.Nodes[i].ID] = &l.Nodes[i]
+	}
 	children := make(map[uint32][]uint32, len(l.Nodes))
-	for _, n := range l.Nodes {
-		if n.ID != 0 {
+	var roots []uint32
+	for i := range l.Nodes {
+		n := &l.Nodes[i]
+		if n.ID == n.Parent {
+			roots = append(roots, n.ID)
+		} else if _, ok := byID[n.Parent]; ok {
 			children[n.Parent] = append(children[n.Parent], n.ID)
+		} else {
+			roots = append(roots, n.ID)
 		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
 	}
 	var walk func(id uint32, depth int)
 	walk = func(id uint32, depth int) {
-		n := l.Nodes[id]
+		n := byID[id]
 		b.WriteString(strings.Repeat("  ", depth))
 		fmt.Fprintf(&b, "#%d %s to=%d from=%d val=%d w=%d seq=%d rank=%d",
 			n.ID, n.Kind, n.To, n.From, n.Val, n.W, n.Seq, n.Rank)
@@ -127,18 +193,36 @@ func (l Lineage) Tree() string {
 			walk(c, depth+1)
 		}
 	}
-	if len(l.Nodes) > 0 {
-		walk(0, 0)
+	for _, r := range roots {
+		walk(r, 0)
 	}
 	return b.String()
 }
 
-// traceSlot holds one in-flight lineage. pending counts the lineage's
-// events still unretired (like a per-cascade in-flight ring); the node list
-// is mutex-guarded because children may be emitted by any rank the cascade
-// reaches. The counter cannot falsely reach zero: a child's pending
-// increment (at emission, inside the parent's callback) strictly precedes
-// the parent's decrement (after its process call returns).
+// Procs returns the distinct recording processes of the lineage's nodes,
+// ascending — >1 means the cascade crossed process boundaries.
+func (l Lineage) Procs() []int {
+	seen := make(map[int]bool, 4)
+	for i := range l.Nodes {
+		seen[int(l.Nodes[i].ID>>24)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// traceSlot holds one in-flight lineage at its ORIGIN process. pending
+// counts the lineage's locally-live events still unretired (like a
+// per-cascade in-flight ring); the node list is mutex-guarded because
+// children may be emitted by any rank the cascade reaches. The counter
+// cannot falsely reach zero: a child's pending increment (at emission,
+// inside the parent's callback) strictly precedes the parent's decrement
+// (after its process call returns); wire handover decrements at frame
+// enqueue and the receiving process re-increments (its fragment) before the
+// mailbox push.
 type traceSlot struct {
 	pending atomic.Int64
 
@@ -147,26 +231,78 @@ type traceSlot struct {
 	startNS   int64
 	truncated bool
 	nodes     []LineageNode
+	// nextNode is the origin's next local node index. It is NOT len(nodes):
+	// remote fragments merge their nodes into the same list, so the local
+	// index must advance independently to keep origin node words unique.
+	nextNode uint32
+	// Cross-process accounting, nil/empty for a pure-local lineage (the
+	// common case pays only nil checks): sentTo/recvFrom are the origin's
+	// own cumulative per-channel traced-event counters; remotes holds the
+	// latest report per contributing process.
+	sentTo, recvFrom map[uint8]uint64
+	remotes          map[uint8]*remoteContrib
 }
 
-// traceTable owns the fixed slot pool and the ring of completed lineages.
+// remoteContrib is the latest lineage report from one remote process
+// (reports travel the per-node-pair FIFO connection, so "latest received"
+// is also "most recent generated").
+type remoteContrib struct {
+	sent, recv map[uint8]uint64
+}
+
+// traceFrag is one remote-origin lineage's local recording state: the
+// nodes this process emitted, its live pending count, and its cumulative
+// per-channel counters. When pending returns to zero the fragment ships a
+// delta report (nodes since the last report + the counters) to the origin.
+type traceFrag struct {
+	mu        sync.Mutex
+	pending   int64
+	nodes     []LineageNode
+	nextNode  uint32
+	reported  int // nodes already shipped
+	truncated bool
+	sentTo    map[uint8]uint64
+	recvFrom  map[uint8]uint64
+}
+
+// fragKey names a fragment: the lineage ID plus the process recording it
+// (the proc matters only for the loopback transport, where one table
+// simulates every process; a real TCP process uses its own constant proc).
+type fragKey struct {
+	id   uint32
+	proc uint8
+}
+
+// traceTable owns the fixed slot pool, the remote-origin fragment map, and
+// the ring of completed lineages.
 type traceTable struct {
 	sampled atomic.Uint64
 	dropped atomic.Uint64
 	active  atomic.Int64
 
-	mu   sync.Mutex
-	free []uint8 // free slot indices
-	gen  uint32  // 24-bit lineage generation counter
-	done []Lineage
-	next int // ring write position in done
-	keep int
+	mu    sync.Mutex
+	free  []uint8 // free slot indices
+	gen   uint32  // 16-bit lineage generation counter
+	done  []Lineage
+	next  int // ring write position in done
+	keep  int
+	frags map[fragKey]*traceFrag
+	order []fragKey // fragment insertion order, for lazy eviction
+
+	// ship delivers a fragment's delta report to the lineage's origin
+	// process (set by the transport at start; nil means reports have
+	// nowhere to go, which only a pure-local table ever needs).
+	ship func(origin int, rep lineageReport)
+	// record logs a lineage finalized from a remote report into a local
+	// ingest-latency histogram (set by the engine; retire-path finalization
+	// records into the retiring rank's own histogram instead).
+	record func(ns int64)
 
 	slots [traceSlotCount]traceSlot
 }
 
 func newTraceTable(keep int) *traceTable {
-	t := &traceTable{keep: keep}
+	t := &traceTable{keep: keep, frags: make(map[fragKey]*traceFrag)}
 	t.free = make([]uint8, traceSlotCount)
 	for i := range t.free {
 		t.free[i] = uint8(i)
@@ -174,47 +310,104 @@ func newTraceTable(keep int) *traceTable {
 	return t
 }
 
-// start opens a lineage for a freshly sampled topology event and returns
-// its root Trace, or 0 (sampling point dropped) when every slot is busy.
-func (t *traceTable) start(ev *Event, rank int) uint64 {
+// slotIndex maps a lineage ID to its origin-table slot index, or -1.
+func slotIndex(id uint32) int {
+	idx := int(id&0xFF) - 1
+	if idx < 0 || idx >= traceSlotCount {
+		return -1
+	}
+	return idx
+}
+
+// start opens a lineage for a topology event freshly sampled by process
+// proc and returns its root Trace, or 0 (sampling point dropped) when every
+// slot is busy and none can be reclaimed.
+func (t *traceTable) start(ev *Event, rankID, proc int) uint64 {
 	t.mu.Lock()
 	if len(t.free) == 0 {
 		t.mu.Unlock()
-		t.dropped.Add(1)
-		return 0
+		if !t.reclaimExpired() {
+			t.dropped.Add(1)
+			return 0
+		}
+		t.mu.Lock()
+		if len(t.free) == 0 {
+			t.mu.Unlock()
+			t.dropped.Add(1)
+			return 0
+		}
 	}
 	idx := t.free[len(t.free)-1]
 	t.free = t.free[:len(t.free)-1]
-	t.gen = (t.gen + 1) & 0xFFFFFF
-	id := t.gen<<8 | (uint32(idx) + 1)
+	t.gen = (t.gen + 1) & 0xFFFF
+	id := uint32(proc)<<24 | t.gen<<8 | (uint32(idx) + 1)
 	t.mu.Unlock()
 
+	node := packNode(proc, 0)
 	s := &t.slots[idx]
 	s.mu.Lock()
 	s.id = id
 	s.startNS = time.Now().UnixNano()
 	s.truncated = false
+	s.nextNode = 1
+	s.sentTo, s.recvFrom, s.remotes = nil, nil, nil
 	s.nodes = append(s.nodes[:0], LineageNode{
-		ID: 0, Parent: 0, Rank: rank,
+		ID: node, Parent: node, Rank: rankID,
 		Kind: ev.Kind, Algo: ev.Algo, To: ev.To, From: ev.From,
 		Val: ev.Val, W: ev.W, Seq: ev.Seq,
 	})
 	s.mu.Unlock()
 	s.pending.Store(1)
 	t.active.Add(1)
-	return packTrace(id, 0)
+	return packTrace(id, node)
 }
 
-// child records an event emitted by a traced parent and returns the Trace
-// the child must carry. Returns 0 — the child runs untraced — when the
-// lineage hit its node cap (Truncated) or the parent Trace is stale.
-func (t *traceTable) child(parent uint64, ev *Event, rank int) uint64 {
+// reclaimExpired force-finalizes origin slots that have been locally
+// quiescent past traceSlotExpiry but never balanced their channels (a peer
+// died, a report was lost, or a fragment was evicted). The reclaimed
+// lineages complete as Truncated. Returns true if any slot was freed.
+func (t *traceTable) reclaimExpired() bool {
+	now := time.Now().UnixNano()
+	freed := false
+	for idx := range t.slots {
+		s := &t.slots[idx]
+		if !s.mu.TryLock() {
+			continue
+		}
+		if s.id == 0 || s.pending.Load() != 0 || now-s.startNS < int64(traceSlotExpiry) {
+			s.mu.Unlock()
+			continue
+		}
+		done := Lineage{
+			ID:             s.id,
+			StartUnixNanos: s.startNS,
+			Latency:        time.Duration(now - s.startNS),
+			Truncated:      true,
+			Nodes:          append([]LineageNode(nil), s.nodes...),
+		}
+		s.id = 0
+		s.mu.Unlock()
+		t.commit(done, idx, t.record)
+		freed = true
+	}
+	return freed
+}
+
+// child records an event emitted by a traced parent on process proc and
+// returns the Trace the child must carry. Returns 0 — the child runs
+// untraced — when the lineage hit its node cap (Truncated) or the parent
+// Trace is stale. When proc is not the lineage's origin the node is
+// recorded into this process's fragment instead of the origin slot.
+func (t *traceTable) child(parent uint64, ev *Event, rankID, proc int) uint64 {
 	id, pnode, ok := DecodeTrace(parent)
 	if !ok {
 		return 0
 	}
-	idx := int(id&0xFF) - 1
-	if idx < 0 || idx >= traceSlotCount {
+	if traceOrigin(id) != proc {
+		return t.childFrag(id, pnode, ev, rankID, proc)
+	}
+	idx := slotIndex(id)
+	if idx < 0 {
 		return 0
 	}
 	s := &t.slots[idx]
@@ -223,14 +416,15 @@ func (t *traceTable) child(parent uint64, ev *Event, rank int) uint64 {
 		s.mu.Unlock()
 		return 0
 	}
-	if len(s.nodes) >= maxLineageNodes {
+	if s.nextNode >= maxLineageNodes {
 		s.truncated = true
 		s.mu.Unlock()
 		return 0
 	}
-	node := uint32(len(s.nodes))
+	node := packNode(proc, s.nextNode)
+	s.nextNode++
 	s.nodes = append(s.nodes, LineageNode{
-		ID: node, Parent: pnode, Rank: rank,
+		ID: node, Parent: pnode, Rank: rankID,
 		Kind: ev.Kind, Algo: ev.Algo, To: ev.To, From: ev.From,
 		Val: ev.Val, W: ev.W, Seq: ev.Seq,
 	})
@@ -239,70 +433,399 @@ func (t *traceTable) child(parent uint64, ev *Event, rank int) uint64 {
 	return packTrace(id, node)
 }
 
+func (t *traceTable) childFrag(id, pnode uint32, ev *Event, rankID, proc int) uint64 {
+	f := t.getFrag(id, proc, false)
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	if f.nextNode >= maxLineageNodes {
+		f.truncated = true
+		f.mu.Unlock()
+		return 0
+	}
+	node := packNode(proc, f.nextNode)
+	f.nextNode++
+	f.nodes = append(f.nodes, LineageNode{
+		ID: node, Parent: pnode, Rank: rankID,
+		Kind: ev.Kind, Algo: ev.Algo, To: ev.To, From: ev.From,
+		Val: ev.Val, W: ev.W, Seq: ev.Seq,
+	})
+	f.pending++
+	f.mu.Unlock()
+	return packTrace(id, node)
+}
+
 // merged records an event that was coalesced into an already-buffered
 // UPDATE: it joins its lineage's tree (so CombinedAway is explainable) but
 // is never delivered, so it carries no pending count. into is the absorbing
 // event's Trace (0 when the absorber is untraced).
-func (t *traceTable) merged(parent uint64, ev *Event, rank int, into uint64) {
+func (t *traceTable) merged(parent uint64, ev *Event, rankID, proc int, into uint64) {
 	id, pnode, ok := DecodeTrace(parent)
 	if !ok {
 		return
 	}
-	idx := int(id&0xFF) - 1
-	if idx < 0 || idx >= traceSlotCount {
+	intoID, _, _ := DecodeTrace(into)
+	n := LineageNode{
+		ID: 0, Parent: pnode, Rank: rankID,
+		Kind: ev.Kind, Algo: ev.Algo, To: ev.To, From: ev.From,
+		Val: ev.Val, W: ev.W, Seq: ev.Seq,
+		Merged: true, MergedInto: intoID,
+	}
+	if traceOrigin(id) != proc {
+		if f := t.getFrag(id, proc, false); f != nil {
+			f.mu.Lock()
+			if f.nextNode < maxLineageNodes {
+				n.ID = packNode(proc, f.nextNode)
+				f.nextNode++
+				f.nodes = append(f.nodes, n)
+			} else {
+				f.truncated = true
+			}
+			f.mu.Unlock()
+		}
 		return
 	}
-	intoID, _, _ := DecodeTrace(into)
+	idx := slotIndex(id)
+	if idx < 0 {
+		return
+	}
 	s := &t.slots[idx]
 	s.mu.Lock()
-	if s.id == id && len(s.nodes) < maxLineageNodes {
-		node := uint32(len(s.nodes))
-		s.nodes = append(s.nodes, LineageNode{
-			ID: node, Parent: pnode, Rank: rank,
-			Kind: ev.Kind, Algo: ev.Algo, To: ev.To, From: ev.From,
-			Val: ev.Val, W: ev.W, Seq: ev.Seq,
-			Merged: true, MergedInto: intoID,
-		})
+	if s.id == id && s.nextNode < maxLineageNodes {
+		n.ID = packNode(proc, s.nextNode)
+		s.nextNode++
+		s.nodes = append(s.nodes, n)
 	} else if s.id == id {
 		s.truncated = true
 	}
 	s.mu.Unlock()
 }
 
-// retire marks one traced event fully processed. The event that drops its
-// lineage's pending count to zero is the cascade's quiescence point: the
-// lineage is finalized, its ingest-to-quiescence latency recorded into the
-// retiring rank's histogram, and the slot freed.
-func (t *traceTable) retire(trace uint64, r *rank) {
+// retire marks one traced event fully processed on process proc. At the
+// lineage's origin, the event that drops the pending count to zero with all
+// channels balanced is the cascade's quiescence point: the lineage is
+// finalized, its ingest-to-quiescence latency recorded into the retiring
+// rank's histogram, and the slot freed. On any other process, a pending
+// count reaching zero ships the fragment's delta report to the origin.
+func (t *traceTable) retire(trace uint64, r *rank, proc int) {
 	id, _, ok := DecodeTrace(trace)
 	if !ok {
 		return
 	}
-	idx := int(id&0xFF) - 1
-	if idx < 0 || idx >= traceSlotCount {
+	if traceOrigin(id) != proc {
+		if f := t.getFrag(id, proc, false); f != nil {
+			f.mu.Lock()
+			f.pending--
+			if f.pending == 0 {
+				t.shipLocked(id, proc, f)
+			}
+			f.mu.Unlock()
+		}
+		return
+	}
+	idx := slotIndex(id)
+	if idx < 0 {
 		return
 	}
 	s := &t.slots[idx]
 	if s.pending.Add(-1) != 0 {
 		return
 	}
-	lat := time.Now().UnixNano()
+	var rec func(int64)
+	if r != nil {
+		rec = r.lat.ingest.record
+	} else {
+		rec = t.record
+	}
+	t.tryFinalize(idx, id, rec)
+}
+
+// wireSend accounts a traced event leaving process proc for process dst: it
+// is no longer locally live (pending decrements; the receiver re-increments
+// before its mailbox push) and the proc→dst channel counter advances. At
+// the origin a resulting zero pending triggers a finalize attempt; at a
+// fragment it ships a delta report.
+func (t *traceTable) wireSend(trace uint64, proc, dst int) {
+	id, _, ok := DecodeTrace(trace)
+	if !ok {
+		return
+	}
+	if traceOrigin(id) != proc {
+		if f := t.getFrag(id, proc, false); f != nil {
+			f.mu.Lock()
+			if f.sentTo == nil {
+				f.sentTo = make(map[uint8]uint64, 2)
+			}
+			f.sentTo[uint8(dst)]++
+			f.pending--
+			if f.pending == 0 {
+				t.shipLocked(id, proc, f)
+			}
+			f.mu.Unlock()
+		}
+		return
+	}
+	idx := slotIndex(id)
+	if idx < 0 {
+		return
+	}
+	s := &t.slots[idx]
 	s.mu.Lock()
 	if s.id != id {
+		s.mu.Unlock()
+		return
+	}
+	if s.sentTo == nil {
+		s.sentTo = make(map[uint8]uint64, 2)
+	}
+	s.sentTo[uint8(dst)]++
+	zero := s.pending.Add(-1) == 0
+	s.mu.Unlock()
+	if zero {
+		t.tryFinalize(idx, id, t.record)
+	}
+}
+
+// wireRecv accounts a traced event arriving at process proc from process
+// src. Must be called BEFORE the event is pushed into a mailbox so the
+// pending increment precedes any possible retire. Creates the fragment on
+// first contact with a remote-origin lineage.
+func (t *traceTable) wireRecv(trace uint64, proc, src int) {
+	id, _, ok := DecodeTrace(trace)
+	if !ok {
+		return
+	}
+	if traceOrigin(id) != proc {
+		f := t.getFrag(id, proc, true)
+		if f == nil {
+			return
+		}
+		f.mu.Lock()
+		if f.recvFrom == nil {
+			f.recvFrom = make(map[uint8]uint64, 2)
+		}
+		f.recvFrom[uint8(src)]++
+		f.pending++
+		f.mu.Unlock()
+		return
+	}
+	idx := slotIndex(id)
+	if idx < 0 {
+		return
+	}
+	s := &t.slots[idx]
+	s.mu.Lock()
+	if s.id != id {
+		s.mu.Unlock()
+		return
+	}
+	if s.recvFrom == nil {
+		s.recvFrom = make(map[uint8]uint64, 2)
+	}
+	s.recvFrom[uint8(src)]++
+	s.pending.Add(1)
+	s.mu.Unlock()
+}
+
+// getFrag looks up process proc's fragment for lineage id, creating it when
+// create is set (evicting quiet fragments if the map is at capacity).
+func (t *traceTable) getFrag(id uint32, proc int, create bool) *traceFrag {
+	k := fragKey{id: id, proc: uint8(proc)}
+	t.mu.Lock()
+	f := t.frags[k]
+	if f == nil && create {
+		if len(t.frags) >= maxTraceFrags {
+			t.evictFragsLocked()
+		}
+		if len(t.frags) < maxTraceFrags {
+			f = &traceFrag{}
+			t.frags[k] = f
+			t.order = append(t.order, k)
+		}
+	}
+	t.mu.Unlock()
+	return f
+}
+
+// evictFragsLocked drops fragments whose cascade went quiet (pending zero,
+// everything reported). Called with t.mu held; fragment mutexes are only
+// try-locked so the t.mu → frag.mu order can never deadlock against a
+// report path holding frag.mu.
+func (t *traceTable) evictFragsLocked() {
+	kept := t.order[:0]
+	for _, k := range t.order {
+		f := t.frags[k]
+		if f == nil {
+			continue
+		}
+		evict := false
+		if f.mu.TryLock() {
+			evict = f.pending == 0 && f.reported == len(f.nodes)
+			f.mu.Unlock()
+		}
+		if evict {
+			delete(t.frags, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	t.order = kept
+}
+
+// shipLocked builds and ships a fragment's cumulative delta report to the
+// lineage's origin. Called with f.mu held — shipping under the lock keeps
+// reports from one fragment strictly ordered, which lets the origin treat
+// the latest arrival as the freshest counters.
+func (t *traceTable) shipLocked(id uint32, proc int, f *traceFrag) {
+	if t.ship == nil {
+		return
+	}
+	rep := lineageReport{
+		ID:        id,
+		From:      uint32(proc),
+		Truncated: f.truncated,
+		Nodes:     append([]LineageNode(nil), f.nodes[f.reported:]...),
+	}
+	f.reported = len(f.nodes)
+	seen := make(map[uint8]bool, len(f.sentTo)+len(f.recvFrom))
+	for p := range f.sentTo {
+		seen[p] = true
+	}
+	for p := range f.recvFrom {
+		seen[p] = true
+	}
+	for p := range seen {
+		rep.Procs = append(rep.Procs, uint32(p))
+	}
+	sort.Slice(rep.Procs, func(i, j int) bool { return rep.Procs[i] < rep.Procs[j] })
+	rep.Sent = make([]uint64, len(rep.Procs))
+	rep.Recv = make([]uint64, len(rep.Procs))
+	for i, p := range rep.Procs {
+		rep.Sent[i] = f.sentTo[uint8(p)]
+		rep.Recv[i] = f.recvFrom[uint8(p)]
+	}
+	t.ship(traceOrigin(id), rep)
+}
+
+// handleReport merges a fragment's delta report into the origin slot and
+// attempts to finalize. Reports from one process arrive in generation order
+// (they ride the per-node-pair FIFO connection), so the counters simply
+// overwrite the previous snapshot.
+func (t *traceTable) handleReport(rep lineageReport) {
+	idx := slotIndex(rep.ID)
+	if idx < 0 {
+		return
+	}
+	s := &t.slots[idx]
+	s.mu.Lock()
+	if s.id != rep.ID {
+		s.mu.Unlock()
+		return
+	}
+	if rep.Truncated {
+		s.truncated = true
+	}
+	s.nodes = append(s.nodes, rep.Nodes...)
+	if s.remotes == nil {
+		s.remotes = make(map[uint8]*remoteContrib, 2)
+	}
+	rc := s.remotes[uint8(rep.From)]
+	if rc == nil {
+		rc = &remoteContrib{}
+		s.remotes[uint8(rep.From)] = rc
+	}
+	rc.sent = make(map[uint8]uint64, len(rep.Procs))
+	rc.recv = make(map[uint8]uint64, len(rep.Procs))
+	for i, p := range rep.Procs {
+		rc.sent[uint8(p)] = rep.Sent[i]
+		rc.recv[uint8(p)] = rep.Recv[i]
+	}
+	s.mu.Unlock()
+	t.tryFinalize(idx, rep.ID, t.record)
+}
+
+// balancedLocked reports whether every channel the slot knows about
+// matches: the origin's own live counters against each remote's report, and
+// each remote pair against each other. Called with s.mu held.
+func (s *traceSlot) balancedLocked(origin uint8) bool {
+	procs := make(map[uint8]bool, len(s.remotes)+2)
+	for p := range s.sentTo {
+		procs[p] = true
+	}
+	for p := range s.recvFrom {
+		procs[p] = true
+	}
+	for p := range s.remotes {
+		procs[p] = true
+	}
+	for p := range procs {
+		rc := s.remotes[p]
+		var rSent, rRecv map[uint8]uint64
+		if rc != nil {
+			rSent, rRecv = rc.sent, rc.recv
+		}
+		if s.sentTo[p] != rRecv[origin] || s.recvFrom[p] != rSent[origin] {
+			return false
+		}
+	}
+	for p, rp := range s.remotes {
+		for q, sent := range rp.sent {
+			if q == origin {
+				continue
+			}
+			var got uint64
+			if rq := s.remotes[q]; rq != nil {
+				got = rq.recv[p]
+			}
+			if sent != got {
+				return false
+			}
+		}
+		for q, recv := range rp.recv {
+			if q == origin {
+				continue
+			}
+			var sent uint64
+			if rq := s.remotes[q]; rq != nil {
+				sent = rq.sent[p]
+			}
+			if recv != sent {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tryFinalize completes the lineage in slot idx if it is locally quiescent
+// (pending zero) and every known channel balances. rec, when non-nil,
+// receives the finalized ingest-to-quiescence latency in nanoseconds.
+func (t *traceTable) tryFinalize(idx int, id uint32, rec func(int64)) {
+	s := &t.slots[idx]
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	if s.id != id || s.pending.Load() != 0 || !s.balancedLocked(uint8(traceOrigin(id))) {
 		s.mu.Unlock()
 		return
 	}
 	done := Lineage{
 		ID:             id,
 		StartUnixNanos: s.startNS,
-		Latency:        time.Duration(lat - s.startNS),
+		Latency:        time.Duration(now - s.startNS),
 		Truncated:      s.truncated,
 		Nodes:          append([]LineageNode(nil), s.nodes...),
 	}
 	s.id = 0
 	s.mu.Unlock()
+	t.commit(done, idx, rec)
+}
 
-	r.lat.ingest.record(int64(done.Latency))
+// commit records a finalized lineage into the done ring and frees its slot.
+func (t *traceTable) commit(done Lineage, idx int, rec func(int64)) {
+	if rec != nil {
+		rec(int64(done.Latency))
+	}
 	t.sampled.Add(1)
 	t.active.Add(-1)
 

@@ -14,8 +14,11 @@ import (
 // dynamic graph, the per-vertex state of every program for its vertices,
 // and one ingestion stream. All communication is through mailboxes.
 type rank struct {
-	id  int
-	eng *Engine
+	id int
+	// proc is the process (cluster node) hosting this rank — the proc byte
+	// stamped into lineage IDs and node words.
+	proc int
+	eng  *Engine
 
 	store *graph.Store
 	// values[algo][slot] is the live local state (§II-C local state).
@@ -114,6 +117,7 @@ type queryReq struct {
 func newRank(e *Engine, id int) *rank {
 	r := &rank{
 		id:       id,
+		proc:     e.tr.procOf(id),
 		eng:      e,
 		store:    graph.NewStore(e.opts.SmallCap),
 		inbox:    newMailbox(e.opts.Ranks + 1),
@@ -389,7 +393,7 @@ func (r *rank) nextTopoEvent() (Event, bool) {
 	if r.eng.traces != nil {
 		if r.sampleLeft--; r.sampleLeft <= 0 {
 			r.sampleLeft = r.eng.opts.SampleEvery
-			out.Trace = r.eng.traces.start(&out, r.id)
+			out.Trace = r.eng.traces.start(&out, r.id, r.proc)
 		}
 	}
 	return out, true
@@ -411,7 +415,7 @@ func (r *rank) emit(ev Event) {
 			// The merged event joins its lineage as a leaf (never delivered,
 			// so no pending count) — CombinedAway, explained per event.
 			if r.curTrace != 0 {
-				r.eng.traces.merged(r.curTrace, &ev, r.id, into)
+				r.eng.traces.merged(r.curTrace, &ev, r.id, r.proc, into)
 			}
 			return
 		}
@@ -419,7 +423,7 @@ func (r *rank) emit(ev Event) {
 		// mirroring the ring discipline: its lineage pending count is up
 		// before the parent's retire can run.
 		if r.curTrace != 0 {
-			ev.Trace = r.eng.traces.child(r.curTrace, &ev, r.id)
+			ev.Trace = r.eng.traces.child(r.curTrace, &ev, r.id, r.proc)
 		}
 		r.eng.inflight[ev.Seq&3].Add(1)
 		if pos := r.deliver(dest, ev); pos >= 0 {
@@ -428,7 +432,7 @@ func (r *rank) emit(ev Event) {
 		return
 	}
 	if r.curTrace != 0 {
-		ev.Trace = r.eng.traces.child(r.curTrace, &ev, r.id)
+		ev.Trace = r.eng.traces.child(r.curTrace, &ev, r.id, r.proc)
 	}
 	r.eng.inflight[ev.Seq&3].Add(1)
 	r.deliver(dest, ev)
@@ -835,7 +839,7 @@ func (r *rank) process(ev *Event) {
 	// records its ingest-to-quiescence latency on this rank.
 	if ev.Trace != 0 {
 		r.curTrace = 0
-		r.eng.traces.retire(ev.Trace, r)
+		r.eng.traces.retire(ev.Trace, r, r.proc)
 	}
 }
 

@@ -40,11 +40,19 @@ func (e *Engine) StartSim(streams []stream.Stream) (*SimDriver, error) {
 	if e.started.Swap(true) {
 		return nil, fmt.Errorf("core: engine already started")
 	}
-	if _, inproc := e.tr.(*inprocTransport); !inproc {
+	switch e.tr.(type) {
+	case *inprocTransport:
+	case *loopbackTransport:
+		// Goroutine-free by construction, so the scheduler keeps ownership
+		// of every decision; start() only hooks lineage-report shipping.
+		if err := e.tr.start(); err != nil {
+			return nil, err
+		}
+	default:
 		// The simulator owns every scheduling decision from one goroutine;
 		// a transport with its own connection goroutines would reintroduce
 		// exactly the nondeterminism the harness exists to remove.
-		return nil, fmt.Errorf("core: StartSim requires the in-process transport")
+		return nil, fmt.Errorf("core: StartSim requires the in-process or loopback transport")
 	}
 	e.simManual = true
 	e.state.Store(int32(StateRunning))

@@ -2,9 +2,13 @@ package core
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,9 +79,26 @@ type TCPTransport struct {
 	probeSeq uint64 // detector goroutine only
 	stopCh   chan struct{}
 
-	wg        sync.WaitGroup // accept loop, readers, detector
+	wg        sync.WaitGroup // accept loop, readers, detector, watchdog
 	writersWg sync.WaitGroup // writers: drained before conns close on stop
 	stopOnce  sync.Once
+
+	// dropFrame, when set (fault-injection tests only), is consulted per
+	// outbound frame; returning true silently drops it before the write.
+	dropFrame atomic.Value // func(peerNode int, ft frameType) bool
+
+	// statsWaiters routes STATS_RESP frames back to the clusterStats call
+	// that minted the matching request ID (IDs start at 1; request ID 0 is
+	// reserved for the unsolicited parting snapshot sent with TERMINATE).
+	// finalStats caches those parting snapshots per peer so clusterStats
+	// can answer a complete federation after the mesh is torn down;
+	// finalsAll closes once every peer's snapshot arrived.
+	statsMu      sync.Mutex
+	statsWaiters map[uint64]chan statsRespFrame
+	statsReqID   atomic.Uint64
+	finalStats   map[int]EngineStats
+	finalsSent   atomic.Bool
+	finalsAll    chan struct{}
 }
 
 // TCPConfig shapes a TCPTransport.
@@ -101,6 +122,21 @@ type TCPConfig struct {
 	// ProbeInterval is the termination detector's fallback tick
 	// (default 25ms; it is also kicked on every local-quiescence edge).
 	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round's wait for all peer reports
+	// (default 1s); a round that times out is abandoned and retried.
+	ProbeTimeout time.Duration
+	// ShutdownWait bounds each of stop's two goroutine drains — writers
+	// first (so a queued TERMINATE still flushes), then readers after the
+	// connections close (default 2s each).
+	ShutdownWait time.Duration
+	// StallTimeout arms the stall watchdog: when the node makes no
+	// protocol-level progress for this long while it should be making some
+	// (events in flight, or every stream done but termination undecided),
+	// the watchdog dumps the flight recorder and per-peer transport state
+	// to stderr and retains it for Engine.StallDump / /debug/flightrec.
+	// Default 30s; negative disables the watchdog. Firing is pure
+	// observability — the run is never killed.
+	StallTimeout time.Duration
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -118,6 +154,15 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 25 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ShutdownWait <= 0 {
+		c.ShutdownWait = 2 * time.Second
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -137,10 +182,62 @@ type tcpPeer struct {
 	ackedEvents atomic.Uint64
 	sentFrames  atomic.Uint64
 	recvFrames  atomic.Uint64
+	sentBytes   atomic.Uint64
+	recvBytes   atomic.Uint64
 	reconnects  atomic.Uint64
+	backoffs    atomic.Uint64
+	// lastReportNS is when this peer last answered a termination probe
+	// (coordinator only; the watchdog's suspect heuristic reads it).
+	lastReportNS atomic.Int64
+	// frameBytes is the outbound frame-size histogram (bytes); ackRTT the
+	// send-to-credit round-trip histogram (nanoseconds), fed by the small
+	// rttQ sample ring below.
+	frameBytes latHist
+	ackRTT     latHist
+	rttMu      sync.Mutex
+	rttQ       []rttSample
 	// lastFrameSeq is the reader's per-connection EVENTS/EXT sequence
 	// check (reader goroutine only).
 	lastFrameSeq uint64
+}
+
+// rttSample pairs the cumulative sent-event count a batch brought the
+// channel to with its send instant; the first ACK whose credit reaches
+// target closes the sample.
+type rttSample struct {
+	target uint64
+	ns     int64
+}
+
+// rttRingCap bounds the in-flight RTT samples per peer. Sends beyond the
+// cap are simply not sampled — the histogram wants representative round
+// trips, not a complete ledger.
+const rttRingCap = 8
+
+// noteSendRTT remembers the send instant of the batch that brought the
+// cumulative sent counter to cum.
+func (p *tcpPeer) noteSendRTT(cum uint64) {
+	p.rttMu.Lock()
+	if len(p.rttQ) < rttRingCap {
+		p.rttQ = append(p.rttQ, rttSample{target: cum, ns: time.Now().UnixNano()})
+	}
+	p.rttMu.Unlock()
+}
+
+// matchAckRTT closes every sample the newly acknowledged credit covers.
+func (p *tcpPeer) matchAckRTT(cum uint64) {
+	now := time.Now().UnixNano()
+	p.rttMu.Lock()
+	kept := p.rttQ[:0]
+	for _, s := range p.rttQ {
+		if s.target <= cum {
+			p.ackRTT.record(now - s.ns)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	p.rttQ = kept
+	p.rttMu.Unlock()
 }
 
 // wireFrameMsg is one queued outbound frame.
@@ -237,10 +334,11 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		}
 	}
 	t := &TCPTransport{
-		cfg:     cfg,
-		kick:    make(chan struct{}, 1),
-		reports: make(chan reportFrame, 4*cfg.Nodes),
-		stopCh:  make(chan struct{}),
+		cfg:       cfg,
+		kick:      make(chan struct{}, 1),
+		reports:   make(chan reportFrame, 4*cfg.Nodes),
+		stopCh:    make(chan struct{}),
+		finalsAll: make(chan struct{}),
 	}
 	t.bootCond = sync.NewCond(&t.mu)
 	t.peers = make([]*tcpPeer, cfg.Nodes)
@@ -289,6 +387,8 @@ func (t *TCPTransport) Local(g int) bool {
 	return g/t.cfg.RanksPerNode == t.cfg.Node
 }
 
+func (t *TCPTransport) procOf(g int) int { return g / t.cfg.RanksPerNode }
+
 func (t *TCPTransport) bind(e *Engine) error {
 	if t.e != nil {
 		return errors.New("tcp transport is already bound to an engine")
@@ -312,11 +412,23 @@ func (t *TCPTransport) Send(from, dest int, batch []Event) {
 		t.e.ranks[dest].inbox.push(from, batch)
 		return
 	}
-	p := t.peers[dest/t.cfg.RanksPerNode]
+	destNode := dest / t.cfg.RanksPerNode
+	p := t.peers[destNode]
 	payload := appendEventsPayload(make([]byte, 0, 20+len(batch)*eventWireSize),
 		0, uint32(from), uint32(dest), batch)
 	p.q.push(frameEvents, payload, true)
-	p.sentEvents.Add(uint64(len(batch)))
+	// Account traced events after the frame is enqueued: a lineage report
+	// triggered by the last wireSend then always trails the events it
+	// counts on the same FIFO connection, so the origin never reads a
+	// report ahead of the sends it claims.
+	if t.e.traces != nil {
+		for i := range batch {
+			if batch[i].Trace != 0 {
+				t.e.traces.wireSend(batch[i].Trace, t.cfg.Node, destNode)
+			}
+		}
+	}
+	p.noteSendRTT(p.sentEvents.Add(uint64(len(batch))))
 	t.releaseInflight(batch)
 }
 
@@ -372,6 +484,9 @@ func (t *TCPTransport) start() error {
 	if t.e == nil {
 		return errors.New("core: tcp transport not bound to an engine")
 	}
+	if t.e.traces != nil && t.cfg.Nodes > 1 {
+		t.e.traces.ship = t.shipLineage
+	}
 	if t.cfg.Nodes > 1 {
 		if t.ln != nil {
 			t.wg.Add(1)
@@ -406,6 +521,10 @@ func (t *TCPTransport) start() error {
 			t.wg.Add(1)
 			go t.detect()
 		}
+		if t.cfg.StallTimeout > 0 {
+			t.wg.Add(1)
+			go t.watchdog()
+		}
 	}
 	t.mu.Lock()
 	t.started = true
@@ -432,7 +551,7 @@ func (t *TCPTransport) joinCoordinator() error {
 	// The roster is the first and only frame the coordinator sends before
 	// this node is attached, so a synchronous read here is safe.
 	conn.SetReadDeadline(time.Now().Add(t.cfg.BootTimeout))
-	ft, payload, _, err := readFrame(conn, nil)
+	_, ft, payload, _, err := readFrame(conn, nil)
 	if err != nil {
 		conn.Close()
 		return fmt.Errorf("core: tcp transport: waiting for roster: %w", err)
@@ -521,7 +640,7 @@ func (t *TCPTransport) acceptLoop() {
 func (t *TCPTransport) handshake(conn net.Conn) {
 	defer t.wg.Done()
 	conn.SetReadDeadline(time.Now().Add(t.cfg.BootTimeout))
-	ft, payload, _, err := readFrame(conn, nil)
+	_, ft, payload, _, err := readFrame(conn, nil)
 	if err != nil || ft != frameHello {
 		conn.Close()
 		return
@@ -601,6 +720,7 @@ func (t *TCPTransport) dialRetry(addr string, p *tcpPeer) (net.Conn, error) {
 		if time.Now().Add(backoff).After(deadline) {
 			return nil, fmt.Errorf("dial %s: %w (after %d attempts)", addr, err, attempt+1)
 		}
+		p.backoffs.Add(1)
 		time.Sleep(backoff)
 		backoff *= 2
 		if backoff > time.Second {
@@ -624,16 +744,30 @@ func (t *TCPTransport) writeLoop(p *tcpPeer, conn net.Conn) {
 		if dead {
 			continue
 		}
+		drop, _ := t.dropFrame.Load().(func(int, frameType) bool)
 		buf = buf[:0]
+		sent := 0
 		for i := range frames {
+			if drop != nil && drop(p.node, frames[i].ft) {
+				continue
+			}
+			pre := len(buf)
 			buf = appendFrame(buf, frames[i].ft, frames[i].payload)
+			p.frameBytes.record(int64(len(buf) - pre))
+			t.e.flight.note("frame-sent", p.node, frames[i].ft.String(),
+				uint64(len(buf)-pre), 0)
+			sent++
+		}
+		if len(buf) == 0 {
+			continue
 		}
 		if _, err := conn.Write(buf); err != nil {
 			t.peerDropped(p, fmt.Errorf("write: %w", err))
 			dead = true
 			continue
 		}
-		p.sentFrames.Add(uint64(len(frames)))
+		p.sentFrames.Add(uint64(sent))
+		p.sentBytes.Add(uint64(len(buf)))
 	}
 }
 
@@ -642,14 +776,16 @@ func (t *TCPTransport) readLoop(p *tcpPeer, conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	var buf []byte
 	for {
-		ft, payload, nbuf, err := readFrame(br, buf)
+		ver, ft, payload, nbuf, err := readFrame(br, buf)
 		buf = nbuf
 		if err != nil {
 			t.peerDropped(p, fmt.Errorf("read: %w", err))
 			return
 		}
 		p.recvFrames.Add(1)
-		if err := t.handleFrame(p, ft, payload); err != nil {
+		p.recvBytes.Add(uint64(frameHeaderSize + len(payload)))
+		t.e.flight.note("frame-recv", p.node, ft.String(), uint64(len(payload)), 0)
+		if err := t.handleFrame(p, ver, ft, payload); err != nil {
 			t.peerDropped(p, err)
 			return
 		}
@@ -659,15 +795,25 @@ func (t *TCPTransport) readLoop(p *tcpPeer, conn net.Conn) {
 // handleFrame dispatches one inbound frame on the peer's reader
 // goroutine. Every count, rank index, and program index read from the
 // wire is validated before it touches engine state.
-func (t *TCPTransport) handleFrame(p *tcpPeer, ft frameType, payload []byte) error {
+func (t *TCPTransport) handleFrame(p *tcpPeer, ver uint8, ft frameType, payload []byte) error {
 	switch ft {
 	case frameEvents:
-		f, err := parseEventsPayload(payload)
+		f, err := parseEventsPayload(payload, ver)
 		if err != nil {
 			return err
 		}
 		if err := t.checkEventsFrame(p, &f, false); err != nil {
 			return err
+		}
+		// Account traced arrivals BEFORE the mailbox push, so a lineage's
+		// pending increment strictly precedes any possible retire of the
+		// event (mirroring the in-flight handover below).
+		if t.e.traces != nil {
+			for i := range f.Events {
+				if f.Events[i].Trace != 0 {
+					t.e.traces.wireRecv(f.Events[i].Trace, t.cfg.Node, p.node)
+				}
+			}
 		}
 		// Complete the in-flight handover BEFORE the mailbox push: once the
 		// receive counter (read by probe reports on this same goroutine) can
@@ -680,7 +826,7 @@ func (t *TCPTransport) handleFrame(p *tcpPeer, ft frameType, payload []byte) err
 		p.recvEvents.Add(uint64(len(f.Events)))
 		p.q.push(frameAck, appendU64Payload(nil, p.recvEvents.Load()), false)
 	case frameExt:
-		f, err := parseEventsPayload(payload)
+		f, err := parseEventsPayload(payload, ver)
 		if err != nil {
 			return err
 		}
@@ -699,6 +845,7 @@ func (t *TCPTransport) handleFrame(p *tcpPeer, ft frameType, payload []byte) err
 		if err != nil {
 			return err
 		}
+		t.e.flight.note("probe", p.node, "answer", id, 0)
 		rep := t.localReport(id)
 		p.q.push(frameReport, appendReportPayload(nil, rep), false)
 	case frameReport:
@@ -706,6 +853,8 @@ func (t *TCPTransport) handleFrame(p *tcpPeer, ft frameType, payload []byte) err
 		if err != nil {
 			return err
 		}
+		p.lastReportNS.Store(time.Now().UnixNano())
+		t.e.flight.note("report", p.node, "", rep.Probe, 0)
 		select {
 		case t.reports <- rep:
 		default:
@@ -717,6 +866,8 @@ func (t *TCPTransport) handleFrame(p *tcpPeer, ft frameType, payload []byte) err
 		if err != nil {
 			return err
 		}
+		t.e.flight.note("terminate", p.node, "received", seq, 0)
+		t.pushFinalStats()
 		if !t.decided.Swap(true) {
 			// Echo the decision on every other connection before teardown
 			// begins. In a >=3-node mesh the coordinator's TERMINATE to a
@@ -738,6 +889,62 @@ func (t *TCPTransport) handleFrame(p *tcpPeer, ft frameType, payload []byte) err
 			return err
 		}
 		p.ackedEvents.Store(cum)
+		p.matchAckRTT(cum)
+		t.e.flight.note("credit", p.node, "", cum, 0)
+	case frameLineage:
+		rep, err := parseLineagePayload(payload)
+		if err != nil {
+			return err
+		}
+		if t.e.traces != nil && traceOrigin(rep.ID) == t.cfg.Node &&
+			int(rep.From) == p.node {
+			t.e.traces.handleReport(rep)
+		}
+	case frameStatsReq:
+		id, err := parseU64Payload(payload)
+		if err != nil {
+			return err
+		}
+		js, merr := json.Marshal(t.e.EngineStats())
+		if merr != nil || len(js) > maxStatsJSON {
+			// Answer with an empty body rather than stalling the poller.
+			js = []byte("{}")
+		}
+		p.q.push(frameStatsResp, appendStatsRespPayload(nil,
+			statsRespFrame{Req: id, Node: uint32(t.cfg.Node), JSON: js}), false)
+	case frameStatsResp:
+		resp, err := parseStatsRespPayload(payload)
+		if err != nil {
+			return err
+		}
+		if resp.Req == 0 {
+			// The peer's parting snapshot, sent ahead of its TERMINATE:
+			// cache it so federation outlives the mesh.
+			var es EngineStats
+			if json.Unmarshal(resp.JSON, &es) == nil {
+				t.statsMu.Lock()
+				if t.finalStats == nil {
+					t.finalStats = make(map[int]EngineStats)
+				}
+				if _, dup := t.finalStats[p.node]; !dup {
+					t.finalStats[p.node] = es
+					if len(t.finalStats) == t.cfg.Nodes-1 {
+						close(t.finalsAll)
+					}
+				}
+				t.statsMu.Unlock()
+			}
+			return nil
+		}
+		t.statsMu.Lock()
+		ch := t.statsWaiters[resp.Req]
+		t.statsMu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- resp:
+			default:
+			}
+		}
 	default:
 		return fmt.Errorf("unexpected %s frame after handshake", ft)
 	}
@@ -824,6 +1031,8 @@ func (t *TCPTransport) detect() {
 			continue
 		}
 		t.decided.Store(true)
+		t.e.flight.note("terminate", -1, "decided", t.probeSeq, 0)
+		t.pushFinalStats()
 		for _, p := range t.peers {
 			if p != nil {
 				p.q.push(frameTerminate, appendU64Payload(nil, t.probeSeq), false)
@@ -855,7 +1064,7 @@ func (t *TCPTransport) probeRound() ([]reportFrame, bool) {
 	}
 	out := make([]reportFrame, t.cfg.Nodes)
 	need := t.cfg.Nodes - 1
-	timeout := time.After(time.Second)
+	timeout := time.After(t.cfg.ProbeTimeout)
 	for need > 0 {
 		select {
 		case rep := <-t.reports:
@@ -973,7 +1182,22 @@ func (t *TCPTransport) stop() {
 				p.q.close()
 			}
 		}
-		waitBounded(&t.writersWg, 2*time.Second)
+		waitBounded(&t.writersWg, t.cfg.ShutdownWait)
+		// After a clean termination, hold the connections open briefly for
+		// every peer's parting stats snapshot (sent ahead of its TERMINATE
+		// or its echo) — closing early would discard an in-flight snapshot
+		// and leave post-run federation incomplete. Bounded: a peer that
+		// died after the decision just costs the wait.
+		if t.cfg.Nodes > 1 && t.decided.Load() {
+			w := t.cfg.ShutdownWait
+			if w > time.Second {
+				w = time.Second
+			}
+			select {
+			case <-t.finalsAll:
+			case <-time.After(w):
+			}
+		}
 		if t.ln != nil {
 			t.ln.Close()
 		}
@@ -984,7 +1208,7 @@ func (t *TCPTransport) stop() {
 			}
 		}
 		t.mu.Unlock()
-		waitBounded(&t.wg, 2*time.Second)
+		waitBounded(&t.wg, t.cfg.ShutdownWait)
 	})
 }
 
@@ -1013,10 +1237,258 @@ func (t *TCPTransport) transportStats() TransportStats {
 			AckedEvents: p.ackedEvents.Load(),
 			SentFrames:  p.sentFrames.Load(),
 			RecvFrames:  p.recvFrames.Load(),
+			SentBytes:   p.sentBytes.Load(),
+			RecvBytes:   p.recvBytes.Load(),
 			Reconnects:  p.reconnects.Load(),
+			Backoffs:    p.backoffs.Load(),
+			FrameBytes:  p.frameBytes.snapshot(),
+			AckRTT:      p.ackRTT.snapshot(),
 		})
 	}
 	return s
+}
+
+// shipLineage queues a fragment's delta report to the lineage's origin
+// node (frameQueue accepts pushes from any goroutine, including a rank
+// mid-retire).
+func (t *TCPTransport) shipLineage(origin int, rep lineageReport) {
+	if origin == t.cfg.Node || origin < 0 || origin >= len(t.peers) {
+		return
+	}
+	if p := t.peers[origin]; p != nil {
+		p.q.push(frameLineage, appendLineagePayload(nil, rep), false)
+	}
+}
+
+// clusterStats implements the federated stats poll: the local snapshot plus
+// one STATS_REQ/STATS_RESP round trip per peer, all under one deadline.
+// Any node can poll (the mesh is full); peers that miss the deadline are
+// absent from the result.
+// pushFinalStats queues this node's parting stats snapshot (STATS_RESP
+// with the reserved request ID 0) to every peer, once. It is called at the
+// moment termination is decided or learned, so per-connection FIFO orders
+// the snapshot ahead of the TERMINATE on each link: a peer that acts on
+// the decision has already cached our finals, and clusterStats can answer
+// a complete federation after the mesh is torn down.
+func (t *TCPTransport) pushFinalStats() {
+	if !t.finalsSent.CompareAndSwap(false, true) {
+		return
+	}
+	js, err := json.Marshal(t.e.EngineStats())
+	if err != nil || len(js) > maxStatsJSON {
+		js = []byte("{}")
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			p.q.push(frameStatsResp, appendStatsRespPayload(nil,
+				statsRespFrame{Req: 0, Node: uint32(t.cfg.Node), JSON: js}), false)
+		}
+	}
+}
+
+func (t *TCPTransport) clusterStats(timeout time.Duration) []NodeEngineStats {
+	out := []NodeEngineStats{{Node: t.cfg.Node, Stats: t.e.EngineStats()}}
+	have := make(map[int]bool, t.cfg.Nodes)
+	have[t.cfg.Node] = true
+	t.mu.Lock()
+	up := t.started
+	t.mu.Unlock()
+	// Live polling is only legal on an established mesh: before bootstrap
+	// completes, STATS_REQ frames would interleave with the HELLO/ROSTER
+	// handshake (whose follower side synchronously expects ROSTER as the
+	// first frame), and after teardown begins there is no one left to
+	// answer. Outside that window peers are covered by the parting
+	// snapshots below.
+	if t.cfg.Nodes > 1 && up && !t.closing.Load() {
+		if timeout <= 0 {
+			timeout = time.Second
+		}
+		id := t.statsReqID.Add(1)
+		ch := make(chan statsRespFrame, t.cfg.Nodes)
+		t.statsMu.Lock()
+		if t.statsWaiters == nil {
+			t.statsWaiters = make(map[uint64]chan statsRespFrame)
+		}
+		t.statsWaiters[id] = ch
+		t.statsMu.Unlock()
+		defer func() {
+			t.statsMu.Lock()
+			delete(t.statsWaiters, id)
+			t.statsMu.Unlock()
+		}()
+		need := 0
+		for _, p := range t.peers {
+			if p != nil {
+				p.q.push(frameStatsReq, appendU64Payload(nil, id), false)
+				need++
+			}
+		}
+		deadline := time.After(timeout)
+		for need > 0 {
+			select {
+			case resp := <-ch:
+				need--
+				var es EngineStats
+				if int(resp.Node) < t.cfg.Nodes && !have[int(resp.Node)] &&
+					json.Unmarshal(resp.JSON, &es) == nil {
+					out = append(out, NodeEngineStats{Node: int(resp.Node), Stats: es})
+					have[int(resp.Node)] = true
+				}
+			case <-deadline:
+				need = 0
+			case <-t.stopCh:
+				need = 0
+			}
+		}
+	}
+	// Fill the gaps — peers that did not answer live, or the whole mesh
+	// when it is gone — from the parting snapshots exchanged at
+	// termination.
+	t.statsMu.Lock()
+	for n, es := range t.finalStats {
+		if !have[n] {
+			out = append(out, NodeEngineStats{Node: n, Stats: es})
+			have[n] = true
+		}
+	}
+	t.statsMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// watchdog is the per-node stall detector: it fingerprints protocol-level
+// progress (per-peer event/credit counters, processed-event totals, the
+// termination decision bit — deliberately NOT probe/report chatter, which a
+// stalled cluster keeps generating) and, when the fingerprint freezes for
+// StallTimeout while the node should be making progress (events in flight,
+// or streams done but termination undecided), dumps the flight recorder
+// and per-peer transport state to stderr and retains it for StallDump /
+// /debug/flightrec. One fire per stall episode; progress re-arms it.
+// Firing never kills the run.
+func (t *TCPTransport) watchdog() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.StallTimeout / 4)
+	defer tick.Stop()
+	last := t.progressFingerprint()
+	lastChange := time.Now()
+	fired := false
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		case <-tick.C:
+		}
+		if t.closing.Load() || t.e.finished.Load() {
+			return
+		}
+		cur := t.progressFingerprint()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			fired = false
+			continue
+		}
+		// A quiescent node with streams still open is idle, not stalled.
+		stalled := !t.e.Quiescent() || t.e.streamsLeft.Load() == 0
+		if fired || !stalled || time.Since(lastChange) < t.cfg.StallTimeout {
+			continue
+		}
+		fired = true
+		suspect := t.suspectPeer()
+		dump := t.stallDump(time.Since(lastChange), suspect)
+		fmt.Fprint(os.Stderr, dump)
+		t.e.flight.recordStall(dump)
+		t.e.flight.note("watchdog", suspect, "fired",
+			uint64(time.Since(lastChange)), 0)
+	}
+}
+
+// progressFingerprint folds every counter that moves iff the node makes
+// real protocol progress: per-peer sent/received/acknowledged events,
+// per-rank processed-event totals, and the termination decision.
+func (t *TCPTransport) progressFingerprint() uint64 {
+	var fp uint64
+	for _, p := range t.peers {
+		if p != nil {
+			fp += p.sentEvents.Load() + p.recvEvents.Load() + p.ackedEvents.Load()
+		}
+	}
+	for _, r := range t.e.ranks {
+		for k := range r.counters.events {
+			fp += r.counters.events[k].Load()
+		}
+	}
+	if t.decided.Load() {
+		fp++
+	}
+	return fp
+}
+
+// suspectPeer names the most likely stalled peer: the one sitting on the
+// most unacknowledged credit; with none outstanding, a follower suspects
+// the coordinator (the missing TERMINATE would come from there) and the
+// coordinator suspects the peer whose probe report is oldest.
+func (t *TCPTransport) suspectPeer() int {
+	best, bestOut := -1, uint64(0)
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		if out := p.sentEvents.Load() - p.ackedEvents.Load(); out > bestOut {
+			best, bestOut = p.node, out
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	if t.cfg.Node != 0 {
+		return 0
+	}
+	var oldest int64
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		if ns := p.lastReportNS.Load(); best < 0 || ns < oldest {
+			best, oldest = p.node, ns
+		}
+	}
+	return best
+}
+
+// stallDump renders the watchdog's diagnosis: engine state, every peer
+// channel's counters (with the suspect marked), and the flight recorder.
+func (t *TCPTransport) stallDump(idle time.Duration, suspect int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incregraph: stall watchdog: node %d made no protocol progress for %s (stall timeout %s)\n",
+		t.cfg.Node, idle.Round(time.Millisecond), t.cfg.StallTimeout)
+	fmt.Fprintf(&b, "  engine: state=%s quiescent=%v streamsLeft=%d decided=%v\n",
+		t.e.State(), t.e.Quiescent(), t.e.streamsLeft.Load(), t.decided.Load())
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		mark := ""
+		if p.node == suspect {
+			mark = "  <-- suspect"
+		}
+		lastRep := "never"
+		if ns := p.lastReportNS.Load(); ns != 0 {
+			lastRep = time.Since(time.Unix(0, ns)).Round(time.Millisecond).String() + " ago"
+		}
+		fmt.Fprintf(&b, "  peer %d: sent=%d recv=%d acked=%d unacked=%d frames=%d/%d lastReport=%s%s\n",
+			p.node, p.sentEvents.Load(), p.recvEvents.Load(), p.ackedEvents.Load(),
+			p.sentEvents.Load()-p.ackedEvents.Load(),
+			p.sentFrames.Load(), p.recvFrames.Load(), lastRep, mark)
+	}
+	fmt.Fprintf(&b, "  suspect: peer node %d\n", suspect)
+	b.WriteString("  flight recorder (oldest first):\n")
+	for _, fe := range t.e.flight.snapshot() {
+		fmt.Fprintf(&b, "    %s peer=%d %s %s a=%d b=%d\n",
+			time.Unix(0, fe.UnixNanos).UTC().Format("15:04:05.000"),
+			fe.Peer, fe.Kind, fe.Detail, fe.A, fe.B)
+	}
+	return b.String()
 }
 
 // putU64 writes v little-endian into b[:8] (the frame-sequence stamp).

@@ -148,6 +148,29 @@ func TestTCPTwoNodeMatchesSingleProcess(t *testing.T) {
 	if s0.Peers[0].SentEvents == 0 && s1.Peers[0].SentEvents == 0 {
 		t.Fatalf("no events crossed the wire — the partition never split across nodes")
 	}
+
+	// Per-peer transport telemetry: byte counters and the frame-size /
+	// ack-RTT histograms must have recorded the traffic just measured.
+	for name, p := range map[string]core.PeerTransportStats{"node0": s0.Peers[0], "node1": s1.Peers[0]} {
+		if p.SentBytes == 0 || p.RecvBytes == 0 {
+			t.Errorf("%s: byte counters empty: sent=%d recv=%d", name, p.SentBytes, p.RecvBytes)
+		}
+		if p.FrameBytes.Count == 0 || p.FrameBytes.Count != p.SentFrames {
+			t.Errorf("%s: frame-size histogram count %d, want %d (one sample per sent frame)",
+				name, p.FrameBytes.Count, p.SentFrames)
+		}
+		if p.AckRTT.Count == 0 {
+			t.Errorf("%s: ack-RTT histogram empty with %d events sent", name, p.SentEvents)
+		}
+	}
+	// The flight recorder is always on: a cluster run must have recorded
+	// protocol-level events on both nodes.
+	if f := e0.EngineStats().Flight; f.Recorded == 0 || f.Capacity == 0 {
+		t.Errorf("node0 flight recorder empty: %+v", f)
+	}
+	if len(e0.FlightRecord()) == 0 {
+		t.Error("node0 FlightRecord returned no entries")
+	}
 }
 
 // TestTCPNoCoalesceMatches repeats the differential with monotone
@@ -183,8 +206,8 @@ func TestTCPNoCoalesceMatches(t *testing.T) {
 }
 
 // TestTCPRemoteModeRestrictions: the documented scope cuts hold — Pause
-// and StartSim refuse a multi-process engine, and the lineage sampler is
-// force-disabled.
+// and StartSim refuse a multi-process engine — while the lineage sampler
+// stays enabled (cross-process lineage ships since wire v3).
 func TestTCPRemoteModeRestrictions(t *testing.T) {
 	tr, err := core.NewTCPTransport(core.TCPConfig{
 		Node: 0, Nodes: 2, RanksPerNode: 1, Listen: "127.0.0.1:0",
@@ -199,8 +222,9 @@ func TestTCPRemoteModeRestrictions(t *testing.T) {
 	if _, err := e.StartSim(nil); err == nil {
 		t.Fatal("StartSim succeeded with a TCP transport")
 	}
-	if s := e.EngineStats(); s.Latency.SampleEvery > 0 {
-		t.Fatalf("lineage sampler still enabled (SampleEvery=%d)", s.Latency.SampleEvery)
+	if s := e.EngineStats(); s.Latency.SampleEvery != 64 {
+		t.Fatalf("lineage sampler disabled on a multi-process engine (SampleEvery=%d, want 64)",
+			s.Latency.SampleEvery)
 	}
 	// The engine was never started; it still owns the listener. Release it.
 	if err := e.Stop(context.Background()); err != nil {
@@ -239,6 +263,240 @@ func TestTCPConfigValidation(t *testing.T) {
 		}
 	}()
 	core.New(core.Options{Ranks: 3, Transport: tr}, algo.BFS{})
+}
+
+// nodeCluster generalizes twoNodeCluster to n nodes in one process: node 0
+// coordinates, every node that a higher-numbered node must dial listens on
+// an ephemeral port.
+func nodeCluster(t *testing.T, nodes, ranksPer int, opts core.Options, mkPrograms func() []core.Program) []*core.Engine {
+	t.Helper()
+	trs := make([]core.Transport, nodes)
+	t0, err := core.NewTCPTransport(core.TCPConfig{
+		Node: 0, Nodes: nodes, RanksPerNode: ranksPer, Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs[0] = t0
+	for i := 1; i < nodes; i++ {
+		cfg := core.TCPConfig{
+			Node: i, Nodes: nodes, RanksPerNode: ranksPer, Join: t0.ListenAddr(),
+		}
+		if i < nodes-1 {
+			cfg.Listen = "127.0.0.1:0" // higher-numbered nodes dial this one
+		}
+		tr, err := core.NewTCPTransport(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	engines := make([]*core.Engine, nodes)
+	for i := range engines {
+		o := opts
+		o.Ranks = nodes * ranksPer
+		o.Transport = trs[i]
+		engines[i] = core.New(o, mkPrograms()...)
+	}
+	return engines
+}
+
+func runEngines(t *testing.T, engines []*core.Engine, streams []stream.Stream) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, e := range engines {
+		wg.Add(1)
+		go func(e *core.Engine) {
+			defer wg.Done()
+			if _, err := e.Run(streams); err != nil {
+				t.Errorf("cluster run: %v", err)
+			}
+		}(e)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cluster run did not terminate")
+	}
+	for i, e := range engines {
+		if err := e.Err(); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+}
+
+// TestTCPClusterLineageStitch is the tentpole differential for cross-rank
+// lineage: at 2 and at 3 TCP processes, a sampled cascade whose children
+// crossed a process boundary must finalize at its origin with the remote
+// fragments stitched in — a single tree whose nodes were recorded on ranks
+// of at least two distinct processes, rendered by Tree().
+func TestTCPClusterLineageStitch(t *testing.T) {
+	for _, nodes := range []int{2, 3} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("%dnodes", nodes), func(t *testing.T) {
+			const ranksPer = 2
+			edges := gen.ErdosRenyi(300, 2400, 11, 1)
+			gen.Shuffle(edges, 5)
+			opts := core.Options{Undirected: true, SampleEvery: 1, LineageKeep: 512}
+			programs := func() []core.Program { return []core.Program{algo.BFS{}} }
+			engines := nodeCluster(t, nodes, ranksPer, opts, programs)
+			engines[0].InitVertex(0, edges[0].Src)
+			runEngines(t, engines, stream.Split(edges, nodes*ranksPer))
+
+			// Federation outlives the mesh: each node exchanged a parting
+			// stats snapshot with its TERMINATE, so a post-run poll on any
+			// node still covers the whole cluster.
+			for _, e := range engines {
+				cs := e.ClusterStats(time.Second)
+				if len(cs) != nodes {
+					t.Fatalf("post-run ClusterStats returned %d of %d nodes: %+v", len(cs), nodes, cs)
+				}
+				for i, ns := range cs {
+					if ns.Node != i {
+						t.Fatalf("post-run ClusterStats out of order: %+v", cs)
+					}
+					if ns.Stats.Ranks != nodes*ranksPer {
+						t.Errorf("node %d parting snapshot reports %d ranks, want %d",
+							i, ns.Stats.Ranks, nodes*ranksPer)
+					}
+				}
+			}
+
+			// Each node finalizes the lineages its own ranks originated;
+			// remote fragments arrive as LINEAGE delta reports before the
+			// termination decision (they ride the same FIFO connections).
+			var stitched []core.Lineage
+			total := 0
+			for _, e := range engines {
+				for _, l := range e.Lineages() {
+					total++
+					if len(l.Procs()) >= 2 {
+						stitched = append(stitched, l)
+					}
+				}
+			}
+			if total == 0 {
+				t.Fatal("no lineages completed at all")
+			}
+			if len(stitched) == 0 {
+				t.Fatalf("none of %d completed lineages crossed a process boundary", total)
+			}
+			l := stitched[0]
+			procs := make(map[int]bool)
+			for _, n := range l.Nodes {
+				procs[n.Rank/ranksPer] = true
+			}
+			if len(procs) < 2 {
+				t.Fatalf("stitched lineage's nodes were recorded by ranks of %d process(es): %+v",
+					len(procs), l.Procs())
+			}
+			tree := l.Tree()
+			if lines := strings.Count(tree, "\n"); lines < len(l.Nodes) {
+				t.Fatalf("Tree() rendered %d lines for %d nodes:\n%s", lines, len(l.Nodes), tree)
+			}
+			for _, n := range l.Nodes {
+				if !strings.Contains(tree, fmt.Sprintf("rank=%d", n.Rank)) {
+					t.Fatalf("Tree() lost the node recorded on rank %d:\n%s", n.Rank, tree)
+				}
+			}
+		})
+	}
+}
+
+// TestTCPStallWatchdogFiresOnDroppedTerminate is the fault-injection proof
+// the watchdog works: node 0's transport silently drops the TERMINATE owed
+// to node 1, so node 1 sits quiescent with its streams done and no
+// termination decision — exactly the no-progress-while-not-done state the
+// watchdog exists for. It must fire within the configured deadline, retain
+// a dump naming the stalled peer (the coordinator, source of the missing
+// TERMINATE), and never kill the run. While both transports are still up,
+// the same topology serves the federated stats poll.
+func TestTCPStallWatchdogFiresOnDroppedTerminate(t *testing.T) {
+	t0, err := core.NewTCPTransport(core.TCPConfig{
+		Node: 0, Nodes: 2, RanksPerNode: 1, Listen: "127.0.0.1:0",
+		StallTimeout: -1, // node 0 finishes normally; only node 1 watches
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := core.NewTCPTransport(core.TCPConfig{
+		Node: 1, Nodes: 2, RanksPerNode: 1, Join: t0.ListenAddr(),
+		StallTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0.SetDropFrames(func(peer int, frame string) bool {
+		return peer == 1 && frame == "TERMINATE"
+	})
+
+	edges := gen.ErdosRenyi(80, 400, 21, 1)
+	programs := []core.Program{algo.CC{}}
+	e0 := core.New(core.Options{Ranks: 2, Undirected: true, Transport: t0}, programs...)
+	e1 := core.New(core.Options{Ranks: 2, Undirected: true, Transport: t1}, programs...)
+	streams := stream.Split(edges, 2)
+
+	var wg sync.WaitGroup
+	for _, e := range []*core.Engine{e0, e1} {
+		wg.Add(1)
+		go func(e *core.Engine) {
+			defer wg.Done()
+			if err := e.Start(streams); err != nil {
+				t.Errorf("Start: %v", err)
+			}
+		}(e)
+	}
+	wg.Wait()
+
+	// Node 0 decides termination and finishes; its TERMINATE never reaches
+	// node 1. Node 1's watchdog must fire within its 200ms deadline (plus
+	// scheduling slack). Node 0's Wait — which would tear the mesh down —
+	// is deliberately deferred until after the dump is observed.
+	var dump string
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if dump = e1.StallDump(); dump != "" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if dump == "" {
+		t.Fatal("stall watchdog never fired on node 1")
+	}
+	for _, want := range []string{
+		"stall watchdog", "node 1 made no protocol progress",
+		"suspect: peer node 0", "flight recorder",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("stall dump missing %q:\n%s", want, dump)
+		}
+	}
+	if f := e1.EngineStats().Flight; f.WatchdogFires == 0 || f.LastStallUnixNanos == 0 {
+		t.Errorf("flight stats did not record the fire: %+v", f)
+	}
+
+	// Metrics federation over the still-standing mesh: either node can
+	// poll the other's EngineStats over the stats verb.
+	cs := e1.ClusterStats(5 * time.Second)
+	if len(cs) != 2 || cs[0].Node != 0 || cs[1].Node != 1 {
+		t.Fatalf("ClusterStats returned %d snapshots: %+v", len(cs), cs)
+	}
+	if cs[0].Stats.Transport.Kind != "tcp" || cs[0].Stats.Ranks != 2 {
+		t.Errorf("federated node-0 snapshot malformed: %+v", cs[0].Stats)
+	}
+	if cs[0].Stats.State != core.StateStopped {
+		t.Errorf("node 0 should have finished (state %s)", cs[0].Stats.State)
+	}
+
+	// The run is never killed by the watchdog: a local Stop releases
+	// node 1, and both engines shut down cleanly.
+	if err := e1.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e0.Wait()
+	e1.Wait()
 }
 
 // TestTCPBootstrapTimeout: a follower that can never reach its

@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // The transport seam: everything that moves a flushed event batch from one
 // rank to another sits behind Transport, so the engine, rank loop,
 // coalescer, and quiescence detector are written against an abstract
@@ -57,6 +59,10 @@ type Transport interface {
 	// flushing any control frames still queued (so a TERMINATE reaches
 	// followers before the connections close).
 	stop()
+	// procOf maps a global rank to the process (cluster node) hosting it —
+	// the proc byte of lineage IDs and node words. inproc: always 0; the
+	// loopback transport simulates several procs inside one process.
+	procOf(g int) int
 	// readyToFinish gates tryFinish: with every local stream exhausted and
 	// the local in-flight ring at zero, may this node declare global
 	// termination? inproc: always (local quiescence is global). TCP
@@ -66,6 +72,18 @@ type Transport interface {
 	readyToFinish() bool
 	// transportStats snapshots the transport's live counters.
 	transportStats() TransportStats
+	// clusterStats federates EngineStats across the job: a multi-process
+	// transport polls every peer over its stats verb (each bounded by
+	// timeout) and returns node-labeled snapshots, the local one included;
+	// single-process transports return just the local snapshot.
+	clusterStats(timeout time.Duration) []NodeEngineStats
+}
+
+// NodeEngineStats pairs one process's EngineStats with its node index in
+// the cluster — the unit of the federated /cluster/stats view.
+type NodeEngineStats struct {
+	Node  int         `json:"node"`
+	Stats EngineStats `json:"stats"`
 }
 
 // PeerTransportStats is the live counter block of one peer channel.
@@ -83,9 +101,19 @@ type PeerTransportStats struct {
 	// SentFrames / RecvFrames count wire frames (events and control).
 	SentFrames uint64
 	RecvFrames uint64
+	// SentBytes / RecvBytes count wire bytes (frame headers included).
+	SentBytes uint64
+	RecvBytes uint64
 	// Reconnects counts dial attempts beyond each connection's first
-	// (the retry-with-backoff loop at work).
+	// (the retry-with-backoff loop at work); Backoffs counts the sleeps
+	// the dial-retry loop took before this channel connected.
 	Reconnects uint64
+	Backoffs   uint64
+	// FrameBytes is the outbound frame-size histogram (bucket bounds are
+	// bytes, power-of-2); AckRTT is the send-to-credit-acknowledgement
+	// round-trip histogram (bounds are nanoseconds).
+	FrameBytes HistogramSnapshot
+	AckRTT     HistogramSnapshot
 }
 
 // TransportStats describes the active transport in an EngineStats
@@ -113,6 +141,7 @@ func NewInProcTransport() Transport { return &inprocTransport{} }
 
 func (t *inprocTransport) Kind() string   { return "inproc" }
 func (t *inprocTransport) Local(int) bool { return true }
+func (t *inprocTransport) procOf(int) int { return 0 }
 func (t *inprocTransport) bind(e *Engine) error {
 	t.e = e
 	return nil
@@ -136,4 +165,9 @@ func (t *inprocTransport) readyToFinish() bool { return true }
 
 func (t *inprocTransport) transportStats() TransportStats {
 	return TransportStats{Kind: t.Kind(), Nodes: 1}
+}
+
+// clusterStats: the process is the whole cluster.
+func (t *inprocTransport) clusterStats(time.Duration) []NodeEngineStats {
+	return []NodeEngineStats{{Node: 0, Stats: t.e.EngineStats()}}
 }

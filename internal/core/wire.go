@@ -27,18 +27,32 @@ import (
 //     byte. That property is what the round-trip tests and FuzzFrameDecode
 //     pin.
 //
-// Events travel without their Trace tag: cascade lineage is a
-// process-local debugging facility and lineage IDs are meaningless in
-// another process (the engine disables the sampler in distributed mode).
+// Events travel WITH their Trace tag since wire version 3: cascade lineage
+// spans processes. A lineage ID embeds its originating process (see
+// lineage.go), every process records the cascade nodes it emits locally,
+// and LINEAGE frames carry delta reports of those fragments back to the
+// origin, which stitches the cross-process tree Graph.Lineage() serves.
+//
+// Version compatibility rule (see DESIGN.md "Wire versioning"): encoders
+// always write the current wireVersion; decoders accept every version in
+// [wireVersionMin, wireVersion] and parse version-dependent layouts (today:
+// the event encoding) by the version the frame header carries. A v2 event
+// simply has no Trace field and decodes with Trace == 0 — exactly the
+// pre-v3 "untraced" meaning — so a mixed-version mesh degrades to
+// process-local lineage instead of failing.
 
 const (
 	wireMagic0 = 'I'
 	wireMagic1 = 'G'
 	// wireVersion 2 widened the event encoding with the witness-generation
-	// tag (Gen u32) and admitted KindInvalidate; v1 peers are rejected at
-	// the frame header, which is the right failure mode for a homogeneous
-	// cluster launched from one binary.
-	wireVersion = 2
+	// tag (Gen u32) and admitted KindInvalidate; version 3 appended the
+	// Trace tag (u64) to the event encoding and added the LINEAGE /
+	// STATS_REQ / STATS_RESP frames. Decoders accept [wireVersionMin,
+	// wireVersion]; v1 peers are rejected at the frame header, which is
+	// the right failure mode for a homogeneous cluster launched from one
+	// binary.
+	wireVersion    = 3
+	wireVersionMin = 2
 
 	// frameHeaderSize is magic(2) + version(1) + type(1) + length(4).
 	frameHeaderSize = 8
@@ -47,9 +61,11 @@ const (
 	// orders of magnitude under this.
 	maxFramePayload = 4 << 20
 
-	// eventWireSize is the fixed encoding of one Event: To(8) From(8)
-	// Val(8) W(4) Seq(4) Kind(1) Algo(1) Gen(4); Trace is stripped.
-	eventWireSize = 38
+	// eventWireSize is the fixed v3 encoding of one Event: To(8) From(8)
+	// Val(8) W(4) Seq(4) Kind(1) Algo(1) Gen(4) Trace(8). A v2 event is
+	// the same layout without the trailing Trace.
+	eventWireSize   = 46
+	eventWireSizeV2 = 38
 
 	// maxWireNodes bounds the node count a HELLO/ROSTER/REPORT may claim;
 	// maxWireAddr bounds one advertised listen address.
@@ -81,9 +97,20 @@ const (
 	// frameAck carries the receiver's cumulative received-event count back
 	// to the sender (the credit view surfaced as PeerTransportStats.Acked).
 	frameAck frameType = 8
+	// frameLineage carries one process's delta report for a remote-origin
+	// cascade lineage back to the originating process: the nodes recorded
+	// since the last report plus the reporter's cumulative per-channel
+	// traced-event counters (see lineage.go).
+	frameLineage frameType = 9
+	// frameStatsReq / frameStatsResp implement metrics federation: any node
+	// may ask a peer for its EngineStats snapshot (req carries a request
+	// ID; resp echoes it with the responder's node and a JSON-encoded
+	// snapshot).
+	frameStatsReq  frameType = 10
+	frameStatsResp frameType = 11
 )
 
-func (t frameType) valid() bool { return t >= frameHello && t <= frameAck }
+func (t frameType) valid() bool { return t >= frameHello && t <= frameStatsResp }
 
 func (t frameType) String() string {
 	switch t {
@@ -103,6 +130,12 @@ func (t frameType) String() string {
 		return "TERMINATE"
 	case frameAck:
 		return "ACK"
+	case frameLineage:
+		return "LINEAGE"
+	case frameStatsReq:
+		return "STATS_REQ"
+	case frameStatsResp:
+		return "STATS_RESP"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -116,64 +149,70 @@ func appendFrame(dst []byte, ft frameType, payload []byte) []byte {
 }
 
 // parseFrame splits one frame off the front of b, validating the header.
-// rest is the bytes after the frame (a stream may concatenate frames).
-func parseFrame(b []byte) (ft frameType, payload, rest []byte, err error) {
+// rest is the bytes after the frame (a stream may concatenate frames). ver
+// is the frame's wire version, needed to decode version-dependent payloads
+// (EVENTS/EXT).
+func parseFrame(b []byte) (ver uint8, ft frameType, payload, rest []byte, err error) {
 	if len(b) < frameHeaderSize {
-		return 0, nil, nil, fmt.Errorf("wire: short frame header (%d bytes)", len(b))
+		return 0, 0, nil, nil, fmt.Errorf("wire: short frame header (%d bytes)", len(b))
 	}
 	if b[0] != wireMagic0 || b[1] != wireMagic1 {
-		return 0, nil, nil, fmt.Errorf("wire: bad magic %q", b[:2])
+		return 0, 0, nil, nil, fmt.Errorf("wire: bad magic %q", b[:2])
 	}
-	if b[2] != wireVersion {
-		return 0, nil, nil, fmt.Errorf("wire: unsupported version %d (have %d)", b[2], wireVersion)
+	ver = b[2]
+	if ver < wireVersionMin || ver > wireVersion {
+		return 0, 0, nil, nil, fmt.Errorf("wire: unsupported version %d (accept %d..%d)",
+			ver, wireVersionMin, wireVersion)
 	}
 	ft = frameType(b[3])
 	if !ft.valid() {
-		return 0, nil, nil, fmt.Errorf("wire: unknown frame type %d", b[3])
+		return 0, 0, nil, nil, fmt.Errorf("wire: unknown frame type %d", b[3])
 	}
 	n := binary.LittleEndian.Uint32(b[4:8])
 	if n > maxFramePayload {
-		return 0, nil, nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, maxFramePayload)
+		return 0, 0, nil, nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, maxFramePayload)
 	}
 	if uint32(len(b)-frameHeaderSize) < n {
-		return 0, nil, nil, fmt.Errorf("wire: truncated frame: want %d payload bytes, have %d",
+		return 0, 0, nil, nil, fmt.Errorf("wire: truncated frame: want %d payload bytes, have %d",
 			n, len(b)-frameHeaderSize)
 	}
-	return ft, b[frameHeaderSize : frameHeaderSize+int(n)], b[frameHeaderSize+int(n):], nil
+	return ver, ft, b[frameHeaderSize : frameHeaderSize+int(n)], b[frameHeaderSize+int(n):], nil
 }
 
 // readFrame reads one frame from a stream. buf is reused when large enough;
 // the returned payload aliases it.
-func readFrame(r io.Reader, buf []byte) (frameType, []byte, []byte, error) {
+func readFrame(r io.Reader, buf []byte) (uint8, frameType, []byte, []byte, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, buf, err
+		return 0, 0, nil, buf, err
 	}
 	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
-		return 0, nil, buf, fmt.Errorf("wire: bad magic %q", hdr[:2])
+		return 0, 0, nil, buf, fmt.Errorf("wire: bad magic %q", hdr[:2])
 	}
-	if hdr[2] != wireVersion {
-		return 0, nil, buf, fmt.Errorf("wire: unsupported version %d (have %d)", hdr[2], wireVersion)
+	ver := hdr[2]
+	if ver < wireVersionMin || ver > wireVersion {
+		return 0, 0, nil, buf, fmt.Errorf("wire: unsupported version %d (accept %d..%d)",
+			ver, wireVersionMin, wireVersion)
 	}
 	ft := frameType(hdr[3])
 	if !ft.valid() {
-		return 0, nil, buf, fmt.Errorf("wire: unknown frame type %d", hdr[3])
+		return 0, 0, nil, buf, fmt.Errorf("wire: unknown frame type %d", hdr[3])
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:8])
 	if n > maxFramePayload {
-		return 0, nil, buf, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, maxFramePayload)
+		return 0, 0, nil, buf, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, maxFramePayload)
 	}
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, buf, fmt.Errorf("wire: truncated %s payload: %w", ft, err)
+		return 0, 0, nil, buf, fmt.Errorf("wire: truncated %s payload: %w", ft, err)
 	}
-	return ft, buf, buf, nil
+	return ver, ft, buf, buf, nil
 }
 
-// appendEvent appends ev's 38-byte wire form (Trace stripped).
+// appendEvent appends ev's 46-byte v3 wire form (Trace included).
 func appendEvent(dst []byte, ev *Event) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.To))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.From))
@@ -181,11 +220,13 @@ func appendEvent(dst []byte, ev *Event) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(ev.W))
 	dst = binary.LittleEndian.AppendUint32(dst, ev.Seq)
 	dst = append(dst, byte(ev.Kind), ev.Algo)
-	return binary.LittleEndian.AppendUint32(dst, ev.Gen)
+	dst = binary.LittleEndian.AppendUint32(dst, ev.Gen)
+	return binary.LittleEndian.AppendUint64(dst, ev.Trace)
 }
 
-// parseEvent decodes one event from exactly eventWireSize bytes.
-func parseEvent(b []byte) (Event, error) {
+// parseEvent decodes one event from exactly eventSize(ver) bytes. A v2
+// event has no Trace field and decodes untraced (Trace == 0).
+func parseEvent(b []byte, ver uint8) (Event, error) {
 	var ev Event
 	ev.To = graph.VertexID(binary.LittleEndian.Uint64(b[0:8]))
 	ev.From = graph.VertexID(binary.LittleEndian.Uint64(b[8:16]))
@@ -195,12 +236,23 @@ func parseEvent(b []byte) (Event, error) {
 	ev.Kind = Kind(b[32])
 	ev.Algo = b[33]
 	ev.Gen = binary.LittleEndian.Uint32(b[34:38])
+	if ver >= 3 {
+		ev.Trace = binary.LittleEndian.Uint64(b[38:46])
+	}
 	// REVERSE_ADD_PREV never crosses the wire (snapshots are in-process
 	// only); INVALIDATE does.
 	if ev.Kind > KindInvalidate || ev.Kind == KindReverseAddPrev {
 		return Event{}, fmt.Errorf("wire: invalid event kind %d", b[32])
 	}
 	return ev, nil
+}
+
+// eventSize is the per-version fixed event encoding width.
+func eventSize(ver uint8) int {
+	if ver >= 3 {
+		return eventWireSize
+	}
+	return eventWireSizeV2
 }
 
 // extWireRank marks an EVENTS-layout frame whose events are engine-external
@@ -231,25 +283,26 @@ func appendEventsPayload(dst []byte, seq uint64, from, dest uint32, events []Eve
 	return dst
 }
 
-func parseEventsPayload(b []byte) (eventsFrame, error) {
+func parseEventsPayload(b []byte, ver uint8) (eventsFrame, error) {
 	var f eventsFrame
 	if len(b) < 20 {
 		return f, fmt.Errorf("wire: events payload too short (%d bytes)", len(b))
 	}
+	evSize := eventSize(ver)
 	f.Seq = binary.LittleEndian.Uint64(b[0:8])
 	f.From = binary.LittleEndian.Uint32(b[8:12])
 	f.Dest = binary.LittleEndian.Uint32(b[12:16])
 	n := binary.LittleEndian.Uint32(b[16:20])
-	if n > maxFramePayload/eventWireSize {
+	if n > uint32(maxFramePayload/evSize) {
 		return f, fmt.Errorf("wire: events count %d exceeds limit", n)
 	}
-	if len(b)-20 != int(n)*eventWireSize {
+	if len(b)-20 != int(n)*evSize {
 		return f, fmt.Errorf("wire: events payload: %d bytes for %d events", len(b)-20, n)
 	}
 	if n > 0 {
 		f.Events = make([]Event, n)
 		for i := range f.Events {
-			ev, err := parseEvent(b[20+i*eventWireSize:])
+			ev, err := parseEvent(b[20+i*evSize:], ver)
 			if err != nil {
 				return f, err
 			}
@@ -427,4 +480,168 @@ func parseU64Payload(b []byte) (uint64, error) {
 		return 0, fmt.Errorf("wire: u64 payload is %d bytes", len(b))
 	}
 	return binary.LittleEndian.Uint64(b), nil
+}
+
+// lineageNodeWireSize is the fixed encoding of one LineageNode inside a
+// LINEAGE payload: ID(4) Parent(4) Rank(4) Kind(1) Algo(1) flags(1)
+// MergedInto(4) To(8) From(8) Val(8) W(4) Seq(4).
+const lineageNodeWireSize = 51
+
+const lineageFlagTruncated = 1 << 0
+const lineageNodeFlagMerged = 1 << 0
+
+// lineageReport is one process's delta report for a remote-origin lineage:
+// the cascade nodes it recorded since its previous report plus its
+// cumulative per-channel traced-event counters for that lineage, keyed so
+// the origin can run the per-channel completion check (see lineage.go).
+type lineageReport struct {
+	ID   uint32
+	From uint32 // reporting process
+	// Truncated marks that the reporter hit its node cap for this lineage.
+	Truncated bool
+	// Chans lists the reporter's cumulative traced-event counters per
+	// peer channel: Sent[i] events shipped to / Recv[i] received from
+	// process Proc[i], counting only this lineage's events.
+	Procs      []uint32
+	Sent, Recv []uint64
+	// Nodes are the lineage nodes recorded since the previous report.
+	Nodes []LineageNode
+}
+
+func appendLineagePayload(dst []byte, r lineageReport) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, r.ID)
+	dst = binary.LittleEndian.AppendUint32(dst, r.From)
+	var flags byte
+	if r.Truncated {
+		flags |= lineageFlagTruncated
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Procs)))
+	for i := range r.Procs {
+		dst = binary.LittleEndian.AppendUint32(dst, r.Procs[i])
+		dst = binary.LittleEndian.AppendUint64(dst, r.Sent[i])
+		dst = binary.LittleEndian.AppendUint64(dst, r.Recv[i])
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Nodes)))
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		dst = binary.LittleEndian.AppendUint32(dst, n.ID)
+		dst = binary.LittleEndian.AppendUint32(dst, n.Parent)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n.Rank))
+		var nf byte
+		if n.Merged {
+			nf |= lineageNodeFlagMerged
+		}
+		dst = append(dst, byte(n.Kind), n.Algo, nf)
+		dst = binary.LittleEndian.AppendUint32(dst, n.MergedInto)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(n.To))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(n.From))
+		dst = binary.LittleEndian.AppendUint64(dst, n.Val)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n.W))
+		dst = binary.LittleEndian.AppendUint32(dst, n.Seq)
+	}
+	return dst
+}
+
+func parseLineagePayload(b []byte) (lineageReport, error) {
+	var r lineageReport
+	if len(b) < 13 {
+		return r, fmt.Errorf("wire: lineage payload too short (%d bytes)", len(b))
+	}
+	r.ID = binary.LittleEndian.Uint32(b[0:4])
+	r.From = binary.LittleEndian.Uint32(b[4:8])
+	flags := b[8]
+	if flags&^byte(lineageFlagTruncated) != 0 {
+		return r, fmt.Errorf("wire: lineage report has unknown flag bits %#x", flags)
+	}
+	r.Truncated = flags&lineageFlagTruncated != 0
+	nc := binary.LittleEndian.Uint32(b[9:13])
+	if nc > maxWireNodes {
+		return r, fmt.Errorf("wire: lineage report claims %d channels", nc)
+	}
+	b = b[13:]
+	if len(b) < int(nc)*20+4 {
+		return r, fmt.Errorf("wire: lineage payload truncated in channel table")
+	}
+	if nc > 0 {
+		r.Procs = make([]uint32, nc)
+		r.Sent = make([]uint64, nc)
+		r.Recv = make([]uint64, nc)
+		for i := uint32(0); i < nc; i++ {
+			off := int(i) * 20
+			r.Procs[i] = binary.LittleEndian.Uint32(b[off : off+4])
+			r.Sent[i] = binary.LittleEndian.Uint64(b[off+4 : off+12])
+			r.Recv[i] = binary.LittleEndian.Uint64(b[off+12 : off+20])
+		}
+	}
+	b = b[int(nc)*20:]
+	nn := binary.LittleEndian.Uint32(b[0:4])
+	if nn > maxLineageNodes {
+		return r, fmt.Errorf("wire: lineage report claims %d nodes", nn)
+	}
+	b = b[4:]
+	if len(b) != int(nn)*lineageNodeWireSize {
+		return r, fmt.Errorf("wire: lineage payload: %d bytes for %d nodes", len(b), nn)
+	}
+	if nn > 0 {
+		r.Nodes = make([]LineageNode, nn)
+		for i := uint32(0); i < nn; i++ {
+			nb := b[int(i)*lineageNodeWireSize:]
+			n := &r.Nodes[i]
+			n.ID = binary.LittleEndian.Uint32(nb[0:4])
+			n.Parent = binary.LittleEndian.Uint32(nb[4:8])
+			n.Rank = int(binary.LittleEndian.Uint32(nb[8:12]))
+			n.Kind = Kind(nb[12])
+			n.Algo = nb[13]
+			nf := nb[14]
+			if nf&^byte(lineageNodeFlagMerged) != 0 {
+				return r, fmt.Errorf("wire: lineage node has unknown flag bits %#x", nf)
+			}
+			n.Merged = nf&lineageNodeFlagMerged != 0
+			n.MergedInto = binary.LittleEndian.Uint32(nb[15:19])
+			n.To = graph.VertexID(binary.LittleEndian.Uint64(nb[19:27]))
+			n.From = graph.VertexID(binary.LittleEndian.Uint64(nb[27:35]))
+			n.Val = binary.LittleEndian.Uint64(nb[35:43])
+			n.W = graph.Weight(binary.LittleEndian.Uint32(nb[43:47]))
+			n.Seq = binary.LittleEndian.Uint32(nb[47:51])
+		}
+	}
+	return r, nil
+}
+
+// maxStatsJSON bounds one STATS_RESP's JSON blob before allocation.
+const maxStatsJSON = 1 << 20
+
+// statsRespFrame answers a STATS_REQ: the responder's node plus its
+// EngineStats snapshot, JSON-encoded (an opaque, length-checked blob at
+// the wire layer — stats shapes evolve faster than the codec).
+type statsRespFrame struct {
+	Req  uint64
+	Node uint32
+	JSON []byte
+}
+
+func appendStatsRespPayload(dst []byte, f statsRespFrame) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, f.Req)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Node)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.JSON)))
+	return append(dst, f.JSON...)
+}
+
+func parseStatsRespPayload(b []byte) (statsRespFrame, error) {
+	var f statsRespFrame
+	if len(b) < 16 {
+		return f, fmt.Errorf("wire: stats-resp payload too short (%d bytes)", len(b))
+	}
+	f.Req = binary.LittleEndian.Uint64(b[0:8])
+	f.Node = binary.LittleEndian.Uint32(b[8:12])
+	n := binary.LittleEndian.Uint32(b[12:16])
+	if n > maxStatsJSON {
+		return f, fmt.Errorf("wire: stats-resp JSON %d bytes exceeds limit %d", n, maxStatsJSON)
+	}
+	if len(b)-16 != int(n) {
+		return f, fmt.Errorf("wire: stats-resp payload: %d bytes for JSON length %d", len(b)-16, n)
+	}
+	f.JSON = append([]byte(nil), b[16:]...)
+	return f, nil
 }

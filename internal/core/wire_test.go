@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
 	"strings"
@@ -29,33 +30,44 @@ func randWireEvent(rng *rand.Rand, kind Kind) Event {
 }
 
 // TestWireEventRoundTripProperty: every event kind, random field values,
-// byte-identical re-encode; the Trace tag is stripped by design.
+// byte-identical re-encode; since wire v3 the Trace tag travels with the
+// event (cross-process lineage), and the same bytes decoded as v2 yield the
+// identical event untraced — the version-compatibility contract.
 func TestWireEventRoundTripProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for kind := KindAdd; kind <= KindSignal; kind++ {
 		for i := 0; i < 256; i++ {
 			ev := randWireEvent(rng, kind)
-			ev.Trace = rng.Uint64() // must not survive the wire
+			ev.Trace = rng.Uint64() // must survive the wire since v3
 			enc := appendEvent(nil, &ev)
 			if len(enc) != eventWireSize {
 				t.Fatalf("kind %v: encoded %d bytes, want %d", kind, len(enc), eventWireSize)
 			}
-			dec, err := parseEvent(enc)
+			dec, err := parseEvent(enc, wireVersion)
 			if err != nil {
 				t.Fatalf("kind %v: parse: %v", kind, err)
 			}
-			want := ev
-			want.Trace = 0
-			if dec != want {
-				t.Fatalf("kind %v: round trip changed the event:\n got %+v\nwant %+v", kind, dec, want)
+			if dec != ev {
+				t.Fatalf("kind %v: round trip changed the event:\n got %+v\nwant %+v", kind, dec, ev)
 			}
 			re := appendEvent(nil, &dec)
 			if !bytes.Equal(re, enc) {
 				t.Fatalf("kind %v: re-encode not byte-identical", kind)
 			}
+			// The v2 layout is the v3 prefix without the Trace word: decoding
+			// it as v2 must reproduce the event untraced.
+			dec2, err := parseEvent(enc[:eventWireSizeV2], 2)
+			if err != nil {
+				t.Fatalf("kind %v: v2 parse: %v", kind, err)
+			}
+			want2 := ev
+			want2.Trace = 0
+			if dec2 != want2 {
+				t.Fatalf("kind %v: v2 decode changed the event:\n got %+v\nwant %+v", kind, dec2, want2)
+			}
 		}
 	}
-	if _, err := parseEvent(appendEvent(nil, &Event{Kind: KindSignal + 1})); err == nil {
+	if _, err := parseEvent(appendEvent(nil, &Event{Kind: KindSignal + 1}), wireVersion); err == nil {
 		t.Fatalf("parseEvent accepted an out-of-range kind")
 	}
 }
@@ -103,8 +115,11 @@ func randPayload(t *testing.T, rng *rand.Rand, ft frameType) (payload []byte, re
 			from, dest = extWireRank, extWireRank
 		}
 		seq := rng.Uint64()
+		for i := range events {
+			events[i].Trace = rng.Uint64()
+		}
 		return appendEventsPayload(nil, seq, from, dest, events), func(b []byte) []byte {
-			g, err := parseEventsPayload(b)
+			g, err := parseEventsPayload(b, wireVersion)
 			if err != nil {
 				t.Fatalf("parseEventsPayload: %v", err)
 			}
@@ -130,13 +145,54 @@ func randPayload(t *testing.T, rng *rand.Rand, ft frameType) (payload []byte, re
 			}
 			return appendReportPayload(nil, g)
 		}
-	case frameProbe, frameTerminate, frameAck:
+	case frameProbe, frameTerminate, frameAck, frameStatsReq:
 		return appendU64Payload(nil, rng.Uint64()), func(b []byte) []byte {
 			v, err := parseU64Payload(b)
 			if err != nil {
 				t.Fatalf("parseU64Payload: %v", err)
 			}
 			return appendU64Payload(nil, v)
+		}
+	case frameLineage:
+		nc := rng.Intn(4)
+		r := lineageReport{
+			ID:        rng.Uint32(),
+			From:      uint32(rng.Intn(8)),
+			Truncated: rng.Intn(2) == 0,
+		}
+		for i := 0; i < nc; i++ {
+			r.Procs = append(r.Procs, uint32(rng.Intn(8)))
+			r.Sent = append(r.Sent, rng.Uint64())
+			r.Recv = append(r.Recv, rng.Uint64())
+		}
+		for i := rng.Intn(8); i > 0; i-- {
+			ev := randWireEvent(rng, Kind(rng.Intn(int(KindSignal)+1)))
+			r.Nodes = append(r.Nodes, LineageNode{
+				ID: rng.Uint32(), Parent: rng.Uint32(), Rank: rng.Intn(64),
+				Kind: ev.Kind, Algo: ev.Algo, Merged: rng.Intn(2) == 0,
+				MergedInto: rng.Uint32(), To: ev.To, From: ev.From,
+				Val: ev.Val, W: ev.W, Seq: ev.Seq,
+			})
+		}
+		return appendLineagePayload(nil, r), func(b []byte) []byte {
+			g, err := parseLineagePayload(b)
+			if err != nil {
+				t.Fatalf("parseLineagePayload: %v", err)
+			}
+			return appendLineagePayload(nil, g)
+		}
+	case frameStatsResp:
+		f := statsRespFrame{
+			Req:  rng.Uint64(),
+			Node: uint32(rng.Intn(8)),
+			JSON: []byte(strings.Repeat("{}", rng.Intn(64))),
+		}
+		return appendStatsRespPayload(nil, f), func(b []byte) []byte {
+			g, err := parseStatsRespPayload(b)
+			if err != nil {
+				t.Fatalf("parseStatsRespPayload: %v", err)
+			}
+			return appendStatsRespPayload(nil, g)
 		}
 	default:
 		t.Fatalf("unknown frame type %v", ft)
@@ -150,14 +206,17 @@ func randPayload(t *testing.T, rng *rand.Rand, ft frameType) (payload []byte, re
 // as rest.
 func TestWireFrameRoundTripProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	for ft := frameHello; ft <= frameAck; ft++ {
+	for ft := frameHello; ft <= frameStatsResp; ft++ {
 		for i := 0; i < 64; i++ {
 			payload, reencode := randPayload(t, rng, ft)
 			frame := appendFrame(nil, ft, payload)
 			tail := appendFrame(nil, frameProbe, appendU64Payload(nil, 7))
-			gotFT, gotPayload, rest, err := parseFrame(append(append([]byte(nil), frame...), tail...))
+			ver, gotFT, gotPayload, rest, err := parseFrame(append(append([]byte(nil), frame...), tail...))
 			if err != nil {
 				t.Fatalf("%v: parseFrame: %v", ft, err)
+			}
+			if ver != wireVersion {
+				t.Fatalf("%v: parseFrame returned version %d, want %d", ft, ver, wireVersion)
 			}
 			if gotFT != ft {
 				t.Fatalf("parseFrame returned type %v, want %v", gotFT, ft)
@@ -185,7 +244,7 @@ func TestWireReadFrameStream(t *testing.T) {
 	var stream []byte
 	var want []frameType
 	for i := 0; i < 50; i++ {
-		ft := frameType(1 + rng.Intn(int(frameAck)))
+		ft := frameType(1 + rng.Intn(int(frameStatsResp)))
 		payload, _ := randPayload(t, rng, ft)
 		stream = appendFrame(stream, ft, payload)
 		want = append(want, ft)
@@ -195,7 +254,7 @@ func TestWireReadFrameStream(t *testing.T) {
 	for i, ft := range want {
 		var gotFT frameType
 		var err error
-		gotFT, _, buf, err = readFrame(r, buf)
+		_, gotFT, _, buf, err = readFrame(r, buf)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
@@ -203,7 +262,7 @@ func TestWireReadFrameStream(t *testing.T) {
 			t.Fatalf("frame %d: got %v, want %v", i, gotFT, ft)
 		}
 	}
-	if _, _, _, err := readFrame(r, buf); err != io.EOF {
+	if _, _, _, _, err := readFrame(r, buf); err != io.EOF {
 		t.Fatalf("after the last frame: err=%v, want io.EOF", err)
 	}
 }
@@ -213,16 +272,17 @@ func TestWireReadFrameStream(t *testing.T) {
 func TestWireRejects(t *testing.T) {
 	ok := appendFrame(nil, frameProbe, appendU64Payload(nil, 1))
 	cases := map[string][]byte{
-		"short header":     ok[:frameHeaderSize-1],
-		"bad magic":        append([]byte("XX"), ok[2:]...),
-		"bad version":      append([]byte{wireMagic0, wireMagic1, 99}, ok[3:]...),
-		"zero frame type":  append([]byte{wireMagic0, wireMagic1, wireVersion, 0}, ok[4:]...),
-		"huge frame type":  append([]byte{wireMagic0, wireMagic1, wireVersion, 250}, ok[4:]...),
-		"truncated":        ok[:len(ok)-1],
-		"length oversized": append([]byte{wireMagic0, wireMagic1, wireVersion, byte(frameProbe), 0xff, 0xff, 0xff, 0xff}, make([]byte, 16)...),
+		"short header":      ok[:frameHeaderSize-1],
+		"bad magic":         append([]byte("XX"), ok[2:]...),
+		"bad version":       append([]byte{wireMagic0, wireMagic1, 99}, ok[3:]...),
+		"version below min": append([]byte{wireMagic0, wireMagic1, wireVersionMin - 1}, ok[3:]...),
+		"zero frame type":   append([]byte{wireMagic0, wireMagic1, wireVersion, 0}, ok[4:]...),
+		"huge frame type":   append([]byte{wireMagic0, wireMagic1, wireVersion, 250}, ok[4:]...),
+		"truncated":         ok[:len(ok)-1],
+		"length oversized":  append([]byte{wireMagic0, wireMagic1, wireVersion, byte(frameProbe), 0xff, 0xff, 0xff, 0xff}, make([]byte, 16)...),
 	}
 	for name, b := range cases {
-		if _, _, _, err := parseFrame(b); err == nil {
+		if _, _, _, _, err := parseFrame(b); err == nil {
 			t.Errorf("parseFrame accepted %s", name)
 		}
 	}
@@ -231,7 +291,7 @@ func TestWireRejects(t *testing.T) {
 		t.Errorf("parseU64Payload accepted a 9-byte payload")
 	}
 	evp := appendEventsPayload(nil, 1, 0, 1, []Event{{Kind: KindAdd}})
-	if _, err := parseEventsPayload(append(evp, 0)); err == nil {
+	if _, err := parseEventsPayload(append(evp, 0), wireVersion); err == nil {
 		t.Errorf("parseEventsPayload accepted a trailing byte")
 	}
 	hp := appendHelloPayload(nil, helloFrame{Nodes: 2, RanksPerNode: 1, Addr: "x"})
@@ -253,5 +313,79 @@ func TestWireRejects(t *testing.T) {
 	badFlags[12] |= 0x80
 	if _, err := parseReportPayload(badFlags); err == nil {
 		t.Errorf("parseReportPayload accepted unknown flag bits")
+	}
+}
+
+// appendFrameV2 builds a frame with a v2 header and v2-layout events (the
+// 38-byte encoding without the trailing Trace word) — what a pre-v3 peer
+// would put on the wire.
+func appendFrameV2Events(seq uint64, from, dest uint32, events []Event) []byte {
+	var payload []byte
+	payload = binary.LittleEndian.AppendUint64(payload, seq)
+	payload = binary.LittleEndian.AppendUint32(payload, from)
+	payload = binary.LittleEndian.AppendUint32(payload, dest)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(events)))
+	for i := range events {
+		payload = append(payload, appendEvent(nil, &events[i])[:eventWireSizeV2]...)
+	}
+	frame := []byte{wireMagic0, wireMagic1, 2, byte(frameEvents)}
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	return append(frame, payload...)
+}
+
+// TestWireVersionCompat pins the decode-both-versions rule: a decoder at
+// wireVersion 3 must accept a v2 EVENTS frame (decoding its events
+// untraced) and a v3 frame (Trace intact) from the same stream.
+func TestWireVersionCompat(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	events := make([]Event, 5)
+	for i := range events {
+		events[i] = randWireEvent(rng, Kind(rng.Intn(int(KindSignal)+1)))
+		events[i].Trace = rng.Uint64()
+	}
+
+	v2 := appendFrameV2Events(9, 1, 2, events)
+	v3 := appendFrame(nil, frameEvents, appendEventsPayload(nil, 9, 1, 2, events))
+
+	stream := append(append([]byte(nil), v2...), v3...)
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for frameNo, wantVer := range []uint8{2, wireVersion} {
+		ver, ft, payload, nbuf, err := readFrame(r, buf)
+		buf = nbuf
+		if err != nil {
+			t.Fatalf("frame %d: %v", frameNo, err)
+		}
+		if ver != wantVer || ft != frameEvents {
+			t.Fatalf("frame %d: ver=%d ft=%v, want ver=%d EVENTS", frameNo, ver, ft, wantVer)
+		}
+		f, err := parseEventsPayload(payload, ver)
+		if err != nil {
+			t.Fatalf("frame %d: parseEventsPayload: %v", frameNo, err)
+		}
+		if f.Seq != 9 || f.From != 1 || f.Dest != 2 || len(f.Events) != len(events) {
+			t.Fatalf("frame %d: header fields changed: %+v", frameNo, f)
+		}
+		for i := range events {
+			want := events[i]
+			if wantVer == 2 {
+				want.Trace = 0 // a v2 event is untraced by definition
+			}
+			if f.Events[i] != want {
+				t.Fatalf("frame %d event %d:\n got %+v\nwant %+v", frameNo, i, f.Events[i], want)
+			}
+		}
+	}
+	if _, _, _, _, err := readFrame(r, buf); err != io.EOF {
+		t.Fatalf("after both frames: err=%v, want io.EOF", err)
+	}
+
+	// A v2-headed frame of one of the v3-only control types is still a
+	// valid frame at the codec layer (the header does not gate types by
+	// version); a v1 header is rejected outright.
+	v1 := append([]byte{wireMagic0, wireMagic1, 1, byte(frameProbe)}, 8, 0, 0, 0)
+	v1 = append(v1, appendU64Payload(nil, 5)...)
+	if _, _, _, _, err := parseFrame(v1); err == nil {
+		t.Fatal("parseFrame accepted a v1 frame")
 	}
 }

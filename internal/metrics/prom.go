@@ -40,21 +40,38 @@ func promGauge(w io.Writer, name, help string, v float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promFloat(v))
 }
 
-// promHistogram renders one HistogramSnapshot as a Prometheus histogram:
-// cumulative le buckets in seconds (the engine's power-of-two nanosecond
-// buckets, bound (2^i - 1) ns), a +Inf overflow bucket, _sum and _count.
-func promHistogram(w io.Writer, name, help string, h core.HistogramSnapshot) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+// promHistogramSeries renders one HistogramSnapshot's sample series
+// (cumulative le buckets, +Inf overflow, _sum, _count) under an optional
+// fixed label prefix like `peer="1",`. The HELP/TYPE header is the
+// caller's job, so several labeled series can share one family. scale
+// divides the raw power-of-two bucket bounds and the sum: 1e9 turns the
+// engine's nanosecond buckets into seconds, 1 keeps byte-bound buckets as
+// bytes.
+func promHistogramSeries(w io.Writer, name, labels string, h core.HistogramSnapshot, scale float64) {
 	var cum uint64
 	for i := 0; i < core.HistBuckets-1; i++ {
 		cum += h.Buckets[i]
-		le := promFloat(float64(core.HistBucketBound(i)) / 1e9)
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		le := promFloat(float64(core.HistBucketBound(i)) / scale)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, le, cum)
 	}
 	cum += h.Buckets[core.HistBuckets-1]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(float64(h.SumNanos)/1e9))
-	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(float64(h.SumNanos)/scale))
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, strings.TrimSuffix(labels, ","),
+		promFloat(float64(h.SumNanos)/scale))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, strings.TrimSuffix(labels, ","), cum)
+}
+
+// promHistogram renders one unlabeled HistogramSnapshot as a Prometheus
+// histogram in seconds (the engine's power-of-two nanosecond buckets,
+// bound (2^i - 1) ns).
+func promHistogram(w io.Writer, name, help string, h core.HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	promHistogramSeries(w, name, "", h, 1e9)
 }
 
 // promKind maps an event kind to its label value.
@@ -234,7 +251,39 @@ func WritePrometheus(w io.Writer, s core.EngineStats) {
 		peerCounter("incregraph_transport_reconnects_total",
 			"Dial attempts beyond each connection's first.",
 			func(p core.PeerTransportStats) uint64 { return p.Reconnects })
+		peerCounter("incregraph_transport_sent_bytes_total",
+			"Wire bytes written to the peer (frame headers included).",
+			func(p core.PeerTransportStats) uint64 { return p.SentBytes })
+		peerCounter("incregraph_transport_recv_bytes_total",
+			"Wire bytes read from the peer (frame headers included).",
+			func(p core.PeerTransportStats) uint64 { return p.RecvBytes })
+		peerCounter("incregraph_transport_backoffs_total",
+			"Dial-retry backoff sleeps taken before the peer channel connected.",
+			func(p core.PeerTransportStats) uint64 { return p.Backoffs })
+		fmt.Fprintf(w, "# HELP incregraph_transport_frame_bytes Outbound wire frame sizes per peer, in bytes.\n")
+		fmt.Fprintf(w, "# TYPE incregraph_transport_frame_bytes histogram\n")
+		for _, p := range s.Transport.Peers {
+			promHistogramSeries(w, "incregraph_transport_frame_bytes",
+				fmt.Sprintf("peer=\"%d\",", p.Node), p.FrameBytes, 1)
+		}
+		fmt.Fprintf(w, "# HELP incregraph_transport_ack_rtt_seconds Event send to credit acknowledgement round trip per peer.\n")
+		fmt.Fprintf(w, "# TYPE incregraph_transport_ack_rtt_seconds histogram\n")
+		for _, p := range s.Transport.Peers {
+			promHistogramSeries(w, "incregraph_transport_ack_rtt_seconds",
+				fmt.Sprintf("peer=\"%d\",", p.Node), p.AckRTT, 1e9)
+		}
 	}
+
+	// Flight recorder + stall watchdog (always present — the ring is
+	// armed on every engine, the watchdog only on multi-process ones).
+	promCounter(w, "incregraph_flightrec_recorded_total",
+		"Protocol-level events the flight recorder has seen (ring keeps the newest incregraph_flightrec_capacity).",
+		s.Flight.Recorded)
+	promGauge(w, "incregraph_flightrec_capacity",
+		"Flight recorder ring capacity (entries retained).", float64(s.Flight.Capacity))
+	promCounter(w, "incregraph_stall_watchdog_fires_total",
+		"Times the stall watchdog detected no protocol progress past the deadline and dumped state.",
+		s.Flight.WatchdogFires)
 
 	// MVCC read plane: epochs, publications, per-verb read counters, and
 	// the query latency histograms. Emitted only when the plane is on so
@@ -276,6 +325,104 @@ func WritePrometheus(w io.Writer, s core.EngineStats) {
 		"Processing time of one drained mailbox batch (sampled).", s.Latency.BatchDrain)
 	promHistogram(w, "incregraph_flush_interval_seconds",
 		"Interval between consecutive outbound flushes of a rank.", s.Latency.FlushInterval)
+}
+
+// WriteClusterPrometheus renders a federated cluster view: one sample per
+// process for each incregraph_cluster_* family, labeled by the process's
+// node index (and peer, for the cross-node transport counters). The input
+// is a ClusterStats result — the coordinator's snapshot plus every peer
+// snapshot that answered the stats poll; absent peers simply have no
+// samples. Like WritePrometheus, the output passes LintProm by
+// construction.
+func WriteClusterPrometheus(w io.Writer, cluster []core.NodeEngineStats) {
+	nodeGauge := func(name, help string, get func(core.EngineStats) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, n := range cluster {
+			fmt.Fprintf(w, "%s{node=\"%d\"} %s\n", name, n.Node, promFloat(get(n.Stats)))
+		}
+	}
+	nodeCounter := func(name, help string, get func(core.EngineStats) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, n := range cluster {
+			fmt.Fprintf(w, "%s{node=\"%d\"} %d\n", name, n.Node, get(n.Stats))
+		}
+	}
+	peerCounter := func(name, help string, get func(core.PeerTransportStats) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, n := range cluster {
+			for _, p := range n.Stats.Transport.Peers {
+				fmt.Fprintf(w, "%s{node=\"%d\",peer=\"%d\"} %d\n", name, n.Node, p.Node, get(p))
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP incregraph_cluster_nodes Processes that answered the federated stats poll.\n")
+	fmt.Fprintf(w, "# TYPE incregraph_cluster_nodes gauge\n")
+	fmt.Fprintf(w, "incregraph_cluster_nodes %d\n", len(cluster))
+	fmt.Fprintf(w, "# HELP incregraph_cluster_node_info Per-process identity (the 1-valued series carries state and transport kind).\n")
+	fmt.Fprintf(w, "# TYPE incregraph_cluster_node_info gauge\n")
+	for _, n := range cluster {
+		fmt.Fprintf(w, "incregraph_cluster_node_info{node=\"%d\",state=%q,kind=%q} 1\n",
+			n.Node, strings.ToLower(n.Stats.State.String()), n.Stats.Transport.Kind)
+	}
+
+	nodeGauge("incregraph_cluster_uptime_seconds",
+		"Seconds since the process's Start.",
+		func(s core.EngineStats) float64 { return s.Uptime.Seconds() })
+	nodeGauge("incregraph_cluster_ranks",
+		"Ranks hosted by the process.",
+		func(s core.EngineStats) float64 { return float64(s.Ranks) })
+	nodeCounter("incregraph_cluster_ingested_events_total",
+		"Topology events the process pulled from its ingestion streams.",
+		func(s core.EngineStats) uint64 { return s.Ingested })
+
+	fmt.Fprintf(w, "# HELP incregraph_cluster_processed_events_total Events processed per process, by kind.\n")
+	fmt.Fprintf(w, "# TYPE incregraph_cluster_processed_events_total counter\n")
+	for _, n := range cluster {
+		for _, k := range promKinds {
+			fmt.Fprintf(w, "incregraph_cluster_processed_events_total{node=\"%d\",kind=%q} %d\n",
+				n.Node, k.name, kindCount(n.Stats.Events, k.kind))
+		}
+	}
+
+	nodeCounter("incregraph_cluster_messages_sent_total",
+		"Events the process delivered to other ranks' mailboxes (local and remote).",
+		func(s core.EngineStats) uint64 { return s.MessagesSent })
+	nodeCounter("incregraph_cluster_queries_served_total",
+		"Local-state observations the process answered.",
+		func(s core.EngineStats) uint64 { return s.QueriesServed })
+	nodeGauge("incregraph_cluster_inflight_events",
+		"Current in-flight ring depth on the process.",
+		func(s core.EngineStats) float64 { return float64(s.InFlight) })
+	nodeGauge("incregraph_cluster_mailbox_depth_events",
+		"Current total inbound mailbox depth over the process's ranks (approximate).",
+		func(s core.EngineStats) float64 { return float64(s.MailboxDepth) })
+	nodeCounter("incregraph_cluster_trace_sampled_total",
+		"Cascades the process's lineage sampler traced to quiescence.",
+		func(s core.EngineStats) uint64 { return s.Latency.Sampled })
+
+	peerCounter("incregraph_cluster_transport_sent_events_total",
+		"Engine events shipped node to peer.",
+		func(p core.PeerTransportStats) uint64 { return p.SentEvents })
+	peerCounter("incregraph_cluster_transport_recv_events_total",
+		"Engine events received node from peer.",
+		func(p core.PeerTransportStats) uint64 { return p.RecvEvents })
+	peerCounter("incregraph_cluster_transport_sent_bytes_total",
+		"Wire bytes written node to peer (frame headers included).",
+		func(p core.PeerTransportStats) uint64 { return p.SentBytes })
+	peerCounter("incregraph_cluster_transport_recv_bytes_total",
+		"Wire bytes read node from peer (frame headers included).",
+		func(p core.PeerTransportStats) uint64 { return p.RecvBytes })
+	peerCounter("incregraph_cluster_transport_reconnects_total",
+		"Dial attempts beyond each peer connection's first.",
+		func(p core.PeerTransportStats) uint64 { return p.Reconnects })
+
+	nodeCounter("incregraph_cluster_flightrec_recorded_total",
+		"Protocol-level events the process's flight recorder has seen.",
+		func(s core.EngineStats) uint64 { return s.Flight.Recorded })
+	nodeCounter("incregraph_cluster_stall_watchdog_fires_total",
+		"Stall-watchdog fires on the process.",
+		func(s core.EngineStats) uint64 { return s.Flight.WatchdogFires })
 }
 
 // LintProm validates Prometheus text exposition data: comment/metadata

@@ -79,10 +79,41 @@ func fixedStats() core.EngineStats {
 		Kind: "tcp", Node: 0, Nodes: 2,
 		Peers: []core.PeerTransportStats{{
 			Node: 1, SentEvents: 250, RecvEvents: 240, AckedEvents: 250,
-			SentFrames: 12, RecvFrames: 11, Reconnects: 1,
+			SentFrames: 12, RecvFrames: 11, Reconnects: 1, Backoffs: 2,
+			SentBytes: 11500, RecvBytes: 11000,
+			// Frame sizes ~512B and ~4KiB; ack RTTs ~131µs and ~1ms.
+			FrameBytes: hist(map[int]uint64{9: 8, 12: 4}, 20480),
+			AckRTT:     hist(map[int]uint64{17: 9, 20: 3}, 4300000),
 		}},
 	}
+	s.Flight = core.FlightStats{
+		Recorded: 77, Capacity: 256, WatchdogFires: 1, LastStallUnixNanos: 1700000000000000000,
+	}
 	return s
+}
+
+// fixedClusterStats is the deterministic two-process federation fixture:
+// the coordinator's fixedStats plus a follower whose counters differ
+// enough that every node-labeled family shows both series.
+func fixedClusterStats() []core.NodeEngineStats {
+	n0 := fixedStats()
+	n1 := fixedStats()
+	n1.Uptime = 1400 * time.Millisecond
+	n1.Ingested = 0 // followers pull no streams
+	n1.Events = core.EventCounts{Adds: 400, ReverseAdds: 400, Updates: 180, Signals: 1}
+	n1.MessagesSent = 260
+	n1.QueriesServed = 0
+	n1.InFlight = 2
+	n1.MailboxDepth = 1
+	n1.Latency.Sampled = 0
+	n1.Transport.Node = 1
+	n1.Transport.Peers = []core.PeerTransportStats{{
+		Node: 0, SentEvents: 240, RecvEvents: 250, AckedEvents: 240,
+		SentFrames: 11, RecvFrames: 12, Reconnects: 0, Backoffs: 1,
+		SentBytes: 11000, RecvBytes: 11500,
+	}}
+	n1.Flight = core.FlightStats{Recorded: 70, Capacity: 256}
+	return []core.NodeEngineStats{{Node: 0, Stats: n0}, {Node: 1, Stats: n1}}
 }
 
 // TestWritePrometheusGolden pins the full exposition byte-for-byte; the
@@ -104,6 +135,46 @@ func TestWritePrometheusGolden(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("exposition drifted from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
 			buf.Bytes(), want)
+	}
+}
+
+// TestWriteClusterPrometheusGolden pins the federated exposition the same
+// way — the cluster golden is the contract /cluster/metrics serves.
+func TestWriteClusterPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WriteClusterPrometheus(&buf, fixedClusterStats())
+
+	golden := filepath.Join("testdata", "cluster_metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("cluster exposition drifted from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestWriteClusterPrometheusLints keeps the federated writer honest against
+// the same lint the per-process exposition passes, including the degenerate
+// inputs /cluster/metrics can serve: an empty poll result and a
+// single-process cluster.
+func TestWriteClusterPrometheusLints(t *testing.T) {
+	for _, cs := range [][]core.NodeEngineStats{
+		fixedClusterStats(),
+		{{Node: 0, Stats: fixedStats()}},
+		nil,
+	} {
+		var buf bytes.Buffer
+		WriteClusterPrometheus(&buf, cs)
+		if err := LintProm(buf.Bytes()); err != nil {
+			t.Fatalf("cluster writer output fails lint for %d nodes: %v", len(cs), err)
+		}
 	}
 }
 

@@ -64,6 +64,12 @@ type checker struct {
 	// between-observation regression checks, the publish-time floor, and
 	// the final-subsumes-queries check stand down.
 	churn bool
+	// multiProc marks a loopback-transport run: lineage node IDs are full
+	// [proc:8][index:24] words and remote fragments are stitched in at
+	// completion time, so the sequential-ID and parent-precedes checks of
+	// the single-process recorder give way to per-process ordering and
+	// parent-existence checks (see checkLineages).
+	multiProc bool
 
 	violations []string
 	// fifo[{sender,dest}] is the shadow queue of events flushed from
@@ -283,17 +289,46 @@ func (c *checker) checkLineages(ls []core.Lineage) {
 			c.violatef("lineage %d: completed with no nodes", l.ID)
 			continue
 		}
+		// Structural checks. Single-process lineages record node words that
+		// degenerate to creation-order indices, so IDs are sequential and
+		// every parent precedes its child. Multi-process lineages interleave
+		// each process's sequential recording order, and a remote fragment is
+		// stitched in only at completion — a node emitted on the origin by a
+		// remote-caused event precedes its own parent in Nodes — so the
+		// checks weaken to per-process index order plus parent existence.
+		ids := make(map[uint32]bool, len(l.Nodes))
+		for i := range l.Nodes {
+			ids[l.Nodes[i].ID] = true
+		}
+		perProc := map[uint32]uint32{}
 		for i, n := range l.Nodes {
-			if n.ID != uint32(i) {
-				c.violatef("lineage %d: node %d recorded with ID %d", l.ID, i, n.ID)
-				continue
-			}
-			if i == 0 {
-				if n.Parent != 0 {
-					c.violatef("lineage %d: root has parent %d", l.ID, n.Parent)
+			if c.multiProc {
+				proc, idx := n.ID>>24, n.ID&0xffffff
+				if idx != perProc[proc] {
+					c.violatef("lineage %d: proc %d's node %d arrived out of recording order (want index %d)",
+						l.ID, proc, n.ID, perProc[proc])
+					continue
 				}
-			} else if n.Parent >= n.ID {
-				c.violatef("lineage %d: node %d's parent %d does not precede it", l.ID, n.ID, n.Parent)
+				perProc[proc]++
+				if i == 0 {
+					if n.Parent != n.ID {
+						c.violatef("lineage %d: root %d is not its own parent (%d)", l.ID, n.ID, n.Parent)
+					}
+				} else if !ids[n.Parent] && !l.Truncated {
+					c.violatef("lineage %d: node %d's parent %d was never recorded", l.ID, n.ID, n.Parent)
+				}
+			} else {
+				if n.ID != uint32(i) {
+					c.violatef("lineage %d: node %d recorded with ID %d", l.ID, i, n.ID)
+					continue
+				}
+				if i == 0 {
+					if n.Parent != 0 {
+						c.violatef("lineage %d: root has parent %d", l.ID, n.Parent)
+					}
+				} else if n.Parent >= n.ID {
+					c.violatef("lineage %d: node %d's parent %d does not precede it", l.ID, n.ID, n.Parent)
+				}
 			}
 			obs := c.traced[[2]uint32{l.ID, n.ID}]
 			if n.Merged {

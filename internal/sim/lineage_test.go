@@ -2,6 +2,8 @@ package sim
 
 import (
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -68,6 +70,59 @@ func TestSimLineageReplayDeterminism(t *testing.T) {
 		}
 		if !reflect.DeepEqual(first, second) {
 			t.Errorf("%s: identical traced seeds produced different Results", a)
+		}
+	}
+}
+
+// TestSimLineageCrossRank runs the deterministic scheduler over the
+// loopback transport: 4 ranks split across 2 simulated processes, every
+// cross-process batch round-tripping through the real wire codec with its
+// trace tags. The retained forest must contain cascades whose nodes span
+// both processes (proving the tags survived the wire and the completion
+// protocol stitched the remote fragments), every tree must stay exact
+// against the checker's processing record, and an identical-seed rerun
+// must replay the identical forest.
+func TestSimLineageCrossRank(t *testing.T) {
+	for a := Algo(0); a < numAlgos; a++ {
+		for _, sseed := range []int64{17, 43} {
+			cfg := Config{
+				Algo: a, GraphSeed: 11, ScheduleSeed: sseed,
+				Ranks: 4, LoopbackNodes: 2,
+				SampleEvery: 1, LineageKeep: 4096,
+			}
+			res := Run(cfg)
+			if res.Failed() {
+				t.Errorf("%s seed %d: %d violations, first: %s",
+					a, sseed, len(res.Violations), res.Violations[0])
+				continue
+			}
+			if len(res.Lineages) == 0 {
+				t.Errorf("%s seed %d: loopback run retained no lineages", a, sseed)
+				continue
+			}
+			var cross int
+			for _, l := range res.Lineages {
+				if len(l.Procs()) >= 2 {
+					cross++
+					// The rendered tree must show both processes' emissions:
+					// proc 1's node words start at 1<<24.
+					tree := l.Tree()
+					if !strings.Contains(tree, "#"+strconv.Itoa(1<<24)) {
+						t.Errorf("%s seed %d: cross-proc lineage %d's tree shows no proc-1 node:\n%s",
+							a, sseed, l.ID, tree)
+					}
+				}
+			}
+			if cross == 0 {
+				t.Errorf("%s seed %d: no lineage crossed a process boundary (4 ranks over 2 procs)", a, sseed)
+			}
+			// Exact replay: the same seeds over the same wire produce the
+			// identical forest, node words and all.
+			again := Run(cfg)
+			if !reflect.DeepEqual(res.Lineages, again.Lineages) {
+				t.Errorf("%s seed %d: identical loopback seeds produced different lineage forests (%d vs %d trees)",
+					a, sseed, len(res.Lineages), len(again.Lineages))
+			}
 		}
 	}
 }

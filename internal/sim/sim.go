@@ -97,6 +97,15 @@ type Config struct {
 	// is always on in simulation; compaction timing is a scheduler action
 	// (actCompact) differentially checked by SimDriver.CompactOne.
 	CompactCap int
+	// LoopbackNodes splits the rank space over this many simulated
+	// processes connected by the deterministic loopback transport: every
+	// cross-"process" batch round-trips through the real wire codec
+	// (current wireVersion, trace tags included) and the lineage
+	// completion protocol runs its cross-process stitching path — all
+	// inside the single scheduler goroutine, so runs stay exactly
+	// replayable. Ranks must divide evenly. 0 or 1 keeps the in-process
+	// transport.
+	LoopbackNodes int
 	// Serve enables the MVCC read plane: the scheduler gains epoch-advance
 	// and per-rank publish actions (StartSim never runs the production
 	// ticker, so epoch timing is fully schedule-controlled), samples
@@ -124,6 +133,12 @@ func (c Config) withDefaults() Config {
 		c.Snapshots = 1
 	}
 	if c.Snapshots < 0 || c.Deletes > 0 {
+		c.Snapshots = 0
+	}
+	// A loopback run simulates a multi-process cluster, where snapshots are
+	// not supported (their REVERSE_ADD_PREV dual-run events never cross the
+	// wire — the codec rejects them, by design).
+	if c.LoopbackNodes > 1 {
 		c.Snapshots = 0
 	}
 	if c.CompactCap <= 0 {
@@ -210,7 +225,8 @@ func Run(cfg Config) Result {
 
 	chk := newChecker(sp.ord, cfg.Ranks)
 	chk.churn = cfg.Deletes > 0
-	e := core.New(core.Options{
+	chk.multiProc = cfg.LoopbackNodes > 1
+	opts := core.Options{
 		Ranks:        cfg.Ranks,
 		Undirected:   true,
 		WeightPolicy: sp.weight,
@@ -220,7 +236,11 @@ func Run(cfg Config) Result {
 		LineageKeep:  cfg.LineageKeep,
 		Serve:        cfg.Serve,
 		CompactCap:   cfg.CompactCap,
-	}, monitor(sp.prog(w), chk))
+	}
+	if cfg.LoopbackNodes > 1 {
+		opts.Transport = core.NewLoopbackTransport(cfg.LoopbackNodes)
+	}
+	e := core.New(opts, monitor(sp.prog(w), chk))
 	// With churn the base adds move onto appendable streams keyed by pair,
 	// so a pair's delete rides the same totally-ordered stream as the add
 	// it revokes (the engine's delete ordering obligation).

@@ -85,6 +85,93 @@ if ! diff -u "$tmp/ref-sorted.txt" "$tmp/merged.txt" >"$tmp/diff.txt"; then
 fi
 echo "proc-smoke: OK — $(wc -l <"$tmp/merged.txt" | tr -d ' ') vertices identical across $PROCS-process and 1-process runs"
 
+# Observability stage: the same cluster topology again, but with 1-in-1
+# cascade sampling and every process serving its debug endpoints into a
+# -linger window. After convergence the coordinator's exposition must pass
+# the in-repo Prometheus lint with the per-peer transport families, the
+# federated /cluster/metrics must carry node-labeled series for every
+# process, and /lineage must render at least one cascade stitched across
+# processes (a tree node recorded by a rank another process hosts — the
+# cross-rank lineage propagation path end to end).
+echo "proc-smoke: building scripts/promlint"
+"$GO" build -o "$tmp/promlint" ./scripts/promlint
+
+OPORT=$((PORT + 2 * PROCS + 2))
+DPORT=$((OPORT + PROCS + 1))
+echo "proc-smoke: $PROCS-process observability run (sample 1, debug on 127.0.0.1:$DPORT+, 127.0.0.1:$OPORT+)"
+pids=""
+i=0
+while [ "$i" -lt "$PROCS" ]; do
+	set -- -rmat "$SCALE" -ranks 2 -procs "$PROCS" -rank-id "$i" \
+		-algo "$ALGO" -sample 1 -debug.addr "127.0.0.1:$((DPORT + i))" -linger 60s
+	if [ "$i" -lt $((PROCS - 1)) ]; then
+		set -- "$@" -listen "127.0.0.1:$((OPORT + i))"
+	fi
+	if [ "$i" -gt 0 ]; then
+		set -- "$@" -join "127.0.0.1:$OPORT"
+	fi
+	"$tmp/ingest" "$@" >"$tmp/o$i.log" 2>&1 &
+	pids="$pids $!"
+	i=$((i + 1))
+done
+
+# Convergence first: the coordinator prints "linger:" once its run (and
+# final report) completed, so every counter below is a converged total.
+waited=0
+while ! grep -q '^linger:' "$tmp/o0.log" 2>/dev/null; do
+	if [ "$waited" -ge 60 ]; then
+		echo "proc-smoke: observability cluster never converged" >&2
+		i=0
+		while [ "$i" -lt "$PROCS" ]; do
+			sed "s/^/  o$i: /" "$tmp/o$i.log" >&2
+			i=$((i + 1))
+		done
+		kill $pids 2>/dev/null || true
+		exit 1
+	fi
+	sleep 1
+	waited=$((waited + 1))
+done
+
+obsfail=0
+# The coordinator's own /metrics: lint plus the per-peer transport and
+# flight-recorder families this PR added.
+"$tmp/promlint" -url "http://127.0.0.1:$DPORT/metrics" \
+	'incregraph_transport_sent_bytes_total{peer="1"}' \
+	'incregraph_transport_frame_bytes_bucket{peer="1"' \
+	'incregraph_transport_ack_rtt_seconds_bucket{peer="1"' \
+	'incregraph_flightrec_recorded_total' || obsfail=1
+# /stats?format=json must round-trip the new telemetry blocks.
+"$tmp/promlint" -url "http://127.0.0.1:$DPORT/stats?format=json" -lint=false \
+	'"SentBytes"' '"AckRTT"' '"Flight"' || obsfail=1
+# The federated exposition: linted, with one labeled series per process.
+set -- -url "http://127.0.0.1:$DPORT/cluster/metrics" "incregraph_cluster_nodes $PROCS"
+i=0
+while [ "$i" -lt "$PROCS" ]; do
+	set -- "$@" "incregraph_cluster_ingested_events_total{node=\"$i\"}"
+	i=$((i + 1))
+done
+"$tmp/promlint" "$@" || obsfail=1
+# Cross-rank lineage: the coordinator hosts ranks 0..1; a stitched tree
+# must show a node recorded by a rank of another process (rank >= 2).
+"$tmp/promlint" -url "http://127.0.0.1:$DPORT/lineage" -lint=false \
+	-save "$tmp/lineage0.txt" 'lineage ' || obsfail=1
+if ! grep -Eq 'rank=([2-9]|[0-9]{2,})' "$tmp/lineage0.txt" 2>/dev/null; then
+	echo "proc-smoke: FAIL — no /lineage tree on the coordinator contains a remote-rank node" >&2
+	head -20 "$tmp/lineage0.txt" >&2 || true
+	obsfail=1
+fi
+
+kill $pids 2>/dev/null || true
+for pid in $pids; do
+	wait "$pid" 2>/dev/null || true
+done
+if [ "$obsfail" -ne 0 ]; then
+	echo "proc-smoke: FAIL — observability checks failed" >&2
+	exit 1
+fi
+echo "proc-smoke: OK — cluster exposition linted, federation labeled all $PROCS nodes, lineage stitched across processes"
+
 # Churn stage: the same cluster topology, but with live deletions (and
 # re-adds) interleaved by -churn. Every process generates the identical
 # churned stream from the shared seed and ingests its pair-keyed shard;

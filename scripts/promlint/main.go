@@ -1,0 +1,95 @@
+// Command promlint is the scrape half of the observability smokes: it
+// fetches one HTTP endpoint from a live cmd/ingest process (retrying until
+// the server is up), runs the repo's Prometheus exposition-format lint
+// over the body, and asserts any required substrings — the shell-level
+// equivalent of the golden/lint tests in internal/metrics, but against a
+// real serving process.
+//
+// Usage:
+//
+//	promlint -url http://127.0.0.1:6060/metrics substring...
+//	promlint -url http://127.0.0.1:6060/lineage -lint=false -save out.txt 'rank='
+//
+// Every positional argument must appear in the body; -save writes the body
+// to a file for further shell-side checks; -lint=false skips the
+// exposition lint for non-Prometheus endpoints (/stats, /lineage).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"incregraph/internal/metrics"
+)
+
+func main() {
+	var (
+		url   = flag.String("url", "", "endpoint to fetch (required)")
+		wait  = flag.Duration("wait", 30*time.Second, "max time to retry until the endpoint answers 200")
+		lint  = flag.Bool("lint", true, "run the Prometheus exposition-format lint over the body")
+		save  = flag.String("save", "", "also write the body to this file")
+		quiet = flag.Bool("q", false, "suppress the OK line")
+	)
+	flag.Parse()
+	if *url == "" {
+		fatal(fmt.Errorf("-url is required"))
+	}
+
+	body, err := fetch(*url, *wait)
+	if err != nil {
+		fatal(err)
+	}
+	if *save != "" {
+		if err := os.WriteFile(*save, body, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *lint {
+		if err := metrics.LintProm(body); err != nil {
+			fatal(fmt.Errorf("%s fails exposition lint: %w", *url, err))
+		}
+	}
+	for _, want := range flag.Args() {
+		if !strings.Contains(string(body), want) {
+			fatal(fmt.Errorf("%s body does not contain %q", *url, want))
+		}
+	}
+	if !*quiet {
+		fmt.Printf("promlint: OK %s (%d bytes, %d required substrings)\n",
+			*url, len(body), flag.NArg())
+	}
+}
+
+// fetch retries until the endpoint answers 200 or the deadline passes,
+// then returns the body of the successful response.
+func fetch(url string, wait time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(wait)
+	var lastErr error
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return body, nil
+			}
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%s not serving after %s: %w", url, wait, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promlint:", err)
+	os.Exit(1)
+}
